@@ -1,0 +1,114 @@
+// T-avail: metadata availability under host churn (§6).
+//
+// "SNIPE testbeds have been running at the University of Tennessee since
+//  autumn 1997 and due to replication have maintained an almost perfect
+//  level of availability."
+//
+// The harness subjects an RC registry of 1..5 replicas to crash/restart
+// churn (exponential MTBF/MTTR per replica host) while a client performs
+// periodic lookups with replica failover.  Expected shape: availability
+// climbs steeply with replication — a single server tracks its own uptime
+// (~MTBF/(MTBF+MTTR)), while three replicas are already "almost perfect".
+#include "bench_util.hpp"
+#include "rcds/client.hpp"
+#include "rcds/server.hpp"
+
+namespace {
+
+using namespace snipe;
+using namespace snipe::bench;
+
+void BM_Availability(benchmark::State& state) {
+  const int replicas = static_cast<int>(state.range(0));
+  const double mtbf_s = static_cast<double>(state.range(1));
+  const double mttr_s = mtbf_s / 10.0;
+
+  double availability = 0;
+  std::uint64_t failovers = 0;
+
+  for (auto _ : state) {
+    simnet::World world(2000 + static_cast<std::uint64_t>(replicas));
+    auto& lan = world.create_network("lan", simnet::ethernet100());
+    std::vector<std::unique_ptr<rcds::RcServer>> servers;
+    std::vector<simnet::Address> addrs;
+    for (int i = 0; i < replicas; ++i) {
+      auto& h = world.create_host("rc" + std::to_string(i));
+      world.attach(h, lan);
+      rcds::RcServerConfig cfg;
+      cfg.anti_entropy_period = duration::seconds(5);
+      servers.push_back(std::make_unique<rcds::RcServer>(h, rcds::RcServer::kDefaultPort, cfg));
+      addrs.push_back(servers.back()->address());
+    }
+    for (int i = 0; i < replicas; ++i) {
+      std::vector<simnet::Address> peers;
+      for (int j = 0; j < replicas; ++j)
+        if (j != i) peers.push_back(addrs[j]);
+      servers[i]->set_peers(peers);
+    }
+    auto& client_host = world.create_host("client");
+    world.attach(client_host, lan);
+    transport::RpcEndpoint rpc(client_host, 9000);
+    rcds::RcClientConfig ccfg;
+    ccfg.try_timeout = duration::milliseconds(300);
+    rcds::RcClient client(rpc, addrs, ccfg);
+
+    // Seed a record, then churn + lookup for 20 simulated minutes.
+    client.set("urn:snipe:proc:target", "proc:state", "running", [](Result<void>) {});
+    world.engine().run();
+
+    // Churn: per-host independent fail/repair processes.
+    Rng churn(4242 + static_cast<std::uint64_t>(replicas));
+    struct Churner {
+      static void schedule_failure(simnet::World& world, const std::string& host, Rng& rng,
+                                   double mtbf_s, double mttr_s) {
+        SimDuration up = from_seconds(rng.next_exponential(mtbf_s));
+        world.engine().schedule_weak(up, [&world, host, &rng, mtbf_s, mttr_s] {
+          world.host(host)->set_up(false);
+          SimDuration down = from_seconds(rng.next_exponential(mttr_s));
+          world.engine().schedule_weak(down, [&world, host, &rng, mtbf_s, mttr_s] {
+            world.host(host)->set_up(true);
+            schedule_failure(world, host, rng, mtbf_s, mttr_s);
+          });
+        });
+      }
+    };
+    for (int i = 0; i < replicas; ++i)
+      Churner::schedule_failure(world, "rc" + std::to_string(i), churn, mtbf_s, mttr_s);
+
+    // Periodic lookups.
+    int attempts = 0, successes = 0;
+    const SimDuration horizon = duration::minutes(20);
+    std::function<void()> probe = [&] {
+      if (world.now() >= horizon) return;
+      ++attempts;
+      client.lookup("urn:snipe:proc:target", "proc:state",
+                    [&](Result<std::vector<std::string>> r) {
+                      if (r.ok() && !r.value().empty()) ++successes;
+                    });
+      world.engine().schedule_weak(duration::seconds(2), probe);
+    };
+    probe();
+    world.engine().run_until(horizon);
+    world.engine().run();  // drain in-flight lookups
+
+    availability = attempts > 0 ? static_cast<double>(successes) / attempts : 0;
+    failovers = client.stats().failovers;
+  }
+
+  state.counters["availability_pct"] = availability * 100.0;
+  state.counters["failovers"] = static_cast<double>(failovers);
+  state.SetLabel(std::to_string(replicas) + " replicas, MTBF " +
+                 std::to_string(static_cast<int>(mtbf_s)) + "s");
+}
+
+void args(benchmark::internal::Benchmark* b) {
+  for (std::int64_t replicas : {1, 2, 3, 5})
+    for (std::int64_t mtbf : {60, 300})
+      b->Args({replicas, mtbf});
+}
+
+BENCHMARK(BM_Availability)->Apply(args)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

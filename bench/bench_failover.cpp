@@ -1,0 +1,114 @@
+// T-fail: transparent route/interface failover (§6).
+//
+// "The system also provided the ability to switch routes/interfaces as
+//  links failed without user applications intervention."
+//
+// Dual-homed hosts stream over the faster interface (ATM); the receiver's
+// ATM NIC fails silently mid-stream (a black hole, invisible to the
+// sender).  The harness measures time-to-recover — from the failure to the
+// first post-failover delivery on Ethernet — and verifies the transfer
+// completes with no application involvement or data loss.  Expected shape:
+// recovery within a few retransmission timeouts (threshold x RTO), then
+// full Ethernet-rate throughput; zero message loss throughout.
+#include "bench_util.hpp"
+#include "transport/srudp.hpp"
+
+namespace {
+
+using namespace snipe;
+using namespace snipe::bench;
+
+void BM_Failover(benchmark::State& state) {
+  const int failover_threshold = static_cast<int>(state.range(0));
+
+  double recover_ms = -1, total_s = 0;
+  int delivered = 0, switches = 0;
+
+  for (auto _ : state) {
+    simnet::World world(7000);
+    world.create_network("atm", simnet::atm155());
+    world.create_network("eth", simnet::ethernet100());
+    auto& a = world.create_host("a");
+    auto& b = world.create_host("b");
+    for (auto* h : {&a, &b}) {
+      world.attach(*h, *world.network("atm"));
+      world.attach(*h, *world.network("eth"));
+    }
+    transport::SrudpConfig cfg;
+    cfg.failover_threshold = failover_threshold;
+    transport::SrudpEndpoint tx(a, 7001, cfg), rx(b, 7002, cfg);
+
+    const int messages = 200;
+    const std::size_t size = 32'768;
+    delivered = 0;
+    SimTime fail_at = -1, recovered_at = -1;
+    rx.set_handler([&](const simnet::Address&, Bytes) {
+      ++delivered;
+      if (fail_at >= 0 && recovered_at < 0 && world.now() > fail_at)
+        recovered_at = world.now();
+    });
+    for (int i = 0; i < messages; ++i) tx.send(rx.address(), Bytes(size, 0x3c));
+
+    // Fail the receiver's ATM NIC once a third of the stream is through.
+    world.engine().run_for(duration::milliseconds(30));
+    fail_at = world.now();
+    b.nic_on("atm")->set_up(false);
+    world.engine().run();
+
+    recover_ms = recovered_at >= 0 ? to_seconds(recovered_at - fail_at) * 1e3 : -1;
+    total_s = to_seconds(world.now());
+    switches = tx.stats().route_switches;
+    if (delivered != messages) state.SkipWithError("messages lost in failover");
+  }
+
+  state.counters["recover_ms"] = recover_ms;
+  state.counters["route_switches"] = switches;
+  state.counters["delivered"] = delivered;
+  state.counters["sim_total_s"] = total_s;
+  state.SetLabel("threshold=" + std::to_string(failover_threshold));
+}
+
+BENCHMARK(BM_Failover)->Arg(1)->Arg(2)->Arg(4)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+// Control: the same failure with the *network* visibly down (the sender can
+// see it) — simnet routes around it at send time, so recovery is immediate.
+void BM_FailoverVisibleLink(benchmark::State& state) {
+  double recover_ms = -1;
+  int delivered = 0;
+  for (auto _ : state) {
+    simnet::World world(7001);
+    world.create_network("atm", simnet::atm155());
+    world.create_network("eth", simnet::ethernet100());
+    auto& a = world.create_host("a");
+    auto& b = world.create_host("b");
+    for (auto* h : {&a, &b}) {
+      world.attach(*h, *world.network("atm"));
+      world.attach(*h, *world.network("eth"));
+    }
+    transport::SrudpEndpoint tx(a, 7001), rx(b, 7002);
+    const int messages = 200;
+    delivered = 0;
+    SimTime fail_at = -1, recovered_at = -1;
+    rx.set_handler([&](const simnet::Address&, Bytes) {
+      ++delivered;
+      if (fail_at >= 0 && recovered_at < 0 && world.now() > fail_at)
+        recovered_at = world.now();
+    });
+    for (int i = 0; i < messages; ++i) tx.send(rx.address(), Bytes(32'768, 0x3c));
+    world.engine().run_for(duration::milliseconds(30));
+    fail_at = world.now();
+    world.network("atm")->set_up(false);
+    world.engine().run();
+    recover_ms = recovered_at >= 0 ? to_seconds(recovered_at - fail_at) * 1e3 : -1;
+    if (delivered != messages) state.SkipWithError("messages lost");
+  }
+  state.counters["recover_ms"] = recover_ms;
+  state.counters["delivered"] = delivered;
+  state.SetLabel("visible link failure (send-time reroute)");
+}
+
+BENCHMARK(BM_FailoverVisibleLink)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

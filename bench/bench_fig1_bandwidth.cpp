@@ -1,0 +1,177 @@
+// Figure 1: "Bandwidth in MegaBytes/Second offered to SNIPE client
+// applications on various media."
+//
+// The paper's only performance figure compares the comms module's
+// protocols (the selective re-send UDP protocol and TCP) on 100 Mb
+// Ethernet and 155 Mb ATM.  This harness regenerates the figure's series —
+// bandwidth vs message size per (protocol, medium) — and extends it with
+// Myrinet and a lossy-WAN sweep as ablations.  Expected shape (paper):
+// both protocols approach the media limit for large messages, SNIPE's
+// SRUDP delivers slightly more of it than TCP (no handshake, selective
+// retransmission, leaner acking), and ATM outruns Ethernet once messages
+// amortize per-packet costs.
+//
+// Metrics are virtual-time: sim_MBps is what Fig. 1's y-axis shows.
+#include "bench_util.hpp"
+#include "transport/srudp.hpp"
+#include "transport/stream.hpp"
+
+namespace {
+
+using namespace snipe;
+using namespace snipe::bench;
+
+constexpr std::int64_t kTransferTarget = 16 << 20;  // move ~16 MiB per case
+
+/// Sends `count` messages of `size` bytes over SRUDP, returns virtual secs.
+double run_srudp(simnet::MediaModel media, std::size_t size, int count, double loss) {
+  PairWorld pair(media, 42);
+  pair.world.network("net")->set_extra_loss(loss);
+  transport::SrudpEndpoint tx(pair.a(), 7001), rx(pair.b(), 7002);
+  int delivered = 0;
+  rx.set_handler([&](const simnet::Address&, Bytes) { ++delivered; });
+  SimTime start = pair.world.now();
+  for (int i = 0; i < count; ++i) tx.send(rx.address(), Bytes(size, 0x5a));
+  pair.world.engine().run();
+  if (delivered != count) return -1;
+  return to_seconds(pair.world.now() - start);
+}
+
+/// Same transfer over the TCP-like stream (handshake included, as a real
+/// TCP connection per transfer would pay it).
+double run_stream(simnet::MediaModel media, std::size_t size, int count, double loss) {
+  PairWorld pair(media, 42);
+  pair.world.network("net")->set_extra_loss(loss);
+  transport::StreamEndpoint client(pair.a(), 8001), server(pair.b(), 8002);
+  int delivered = 0;
+  server.listen([&](std::shared_ptr<transport::StreamConnection> conn) {
+    conn->set_message_handler([&delivered, conn](Bytes) { ++delivered; });
+  });
+  SimTime start = pair.world.now();
+  auto conn = client.connect(server.address());
+  for (int i = 0; i < count; ++i) conn->send_message(Bytes(size, 0x5a));
+  pair.world.engine().run();
+  if (delivered != count) return -1;
+  return to_seconds(pair.world.now() - start);
+}
+
+void BM_Fig1(benchmark::State& state) {
+  const int protocol = static_cast<int>(state.range(0));  // 0 = SRUDP, 1 = TCP
+  const int media_index = static_cast<int>(state.range(1));
+  const std::size_t size = static_cast<std::size_t>(state.range(2));
+  const int count = static_cast<int>(std::max<std::int64_t>(1, kTransferTarget / size));
+
+  double secs = 0;
+  for (auto _ : state) {
+    simnet::MediaModel media = media_by_index(media_index);
+    secs = protocol == 0 ? run_srudp(media, size, count, 0.0)
+                         : run_stream(media, size, count, 0.0);
+  }
+  if (secs <= 0) {
+    state.SkipWithError("transfer incomplete");
+    return;
+  }
+  double bytes = static_cast<double>(size) * count;
+  state.counters["sim_MBps"] = bytes / secs / 1e6;
+  state.counters["msg_bytes"] = static_cast<double>(size);
+  state.SetLabel(std::string(protocol == 0 ? "SNIPE-srudp" : "TCP") + "/" +
+                 media_name(media_index));
+}
+
+void fig1_args(benchmark::internal::Benchmark* b) {
+  for (int protocol : {0, 1})
+    for (int media : {1, 2, 3})  // eth100, atm155, myrinet (Fig. 1 + extension)
+      for (std::int64_t size : {256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304})
+        b->Args({protocol, media, size});
+}
+
+BENCHMARK(BM_Fig1)->Apply(fig1_args)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+// Small-message latency companion (the left edge of Fig. 1's curves).
+void BM_Fig1Latency(benchmark::State& state) {
+  const int protocol = static_cast<int>(state.range(0));
+  const int media_index = static_cast<int>(state.range(1));
+  double secs = 0;
+  const int rounds = 200;
+  for (auto _ : state) {
+    simnet::MediaModel media = media_by_index(media_index);
+    // One-byte ping-pong: round-trip time / 2.
+    PairWorld pair(media, 7);
+    if (protocol == 0) {
+      transport::SrudpEndpoint a(pair.a(), 7001), b(pair.b(), 7002);
+      int pongs = 0;
+      b.set_handler([&](const simnet::Address& src, Bytes m) { b.send(src, std::move(m)); });
+      a.set_handler([&](const simnet::Address&, Bytes) {
+        if (++pongs < rounds) a.send(b.address(), Bytes{1});
+      });
+      SimTime start = pair.world.now();
+      a.send(b.address(), Bytes{1});
+      pair.world.engine().run();
+      secs = to_seconds(pair.world.now() - start);
+    } else {
+      transport::StreamEndpoint client(pair.a(), 8001), server(pair.b(), 8002);
+      std::shared_ptr<transport::StreamConnection> sconn;
+      server.listen([&](std::shared_ptr<transport::StreamConnection> conn) {
+        sconn = conn;
+        conn->set_message_handler([&](Bytes m) { sconn->send_message(m); });
+      });
+      auto conn = client.connect(server.address());
+      int pongs = 0;
+      conn->set_message_handler([&](Bytes m) {
+        if (++pongs < rounds) conn->send_message(m);
+      });
+      SimTime start = pair.world.now();
+      conn->send_message(Bytes{1});
+      pair.world.engine().run();
+      secs = to_seconds(pair.world.now() - start);
+    }
+  }
+  state.counters["sim_rtt_us"] = secs / rounds * 1e6;
+  state.SetLabel(std::string(protocol == 0 ? "SNIPE-srudp" : "TCP") + "/" +
+                 media_name(media_index));
+}
+
+BENCHMARK(BM_Fig1Latency)
+    ->Args({0, 1})
+    ->Args({1, 1})
+    ->Args({0, 2})
+    ->Args({1, 2})
+    ->Args({0, 4})
+    ->Args({1, 4})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+// Loss ablation: selective re-send vs cumulative-ack streams under loss —
+// the design rationale for SRUDP (DESIGN.md §5.2).
+void BM_LossAblation(benchmark::State& state) {
+  const int protocol = static_cast<int>(state.range(0));
+  const double loss = static_cast<double>(state.range(1)) / 1000.0;
+  double secs = 0;
+  for (auto _ : state) {
+    secs = protocol == 0 ? run_srudp(simnet::wan_t3(), 65536, 64, loss)
+                         : run_stream(simnet::wan_t3(), 65536, 64, loss);
+  }
+  if (secs <= 0) {
+    state.SkipWithError("transfer incomplete");
+    return;
+  }
+  state.counters["sim_MBps"] = 64.0 * 65536 / secs / 1e6;
+  state.counters["loss_pct"] = loss * 100;
+  state.SetLabel(protocol == 0 ? "SNIPE-srudp" : "TCP");
+}
+
+BENCHMARK(BM_LossAblation)
+    ->Args({0, 0})
+    ->Args({1, 0})
+    ->Args({0, 10})
+    ->Args({1, 10})
+    ->Args({0, 30})
+    ->Args({1, 30})
+    ->Args({0, 50})
+    ->Args({1, 50})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,129 @@
+// T-files: file sink/source streaming and closest-replica reads (§3.2,
+// §5.9, §6).
+//
+// "Duplicated file reading/access is supported via location of closest
+//  resource daemons."
+//
+// The harness measures (a) sink-write and source-read streaming rates on a
+// LAN, and (b) the benefit of closest-replica selection: a client with a
+// LAN-local replica vs one that must cross the WAN.  Expected shape:
+// streaming approaches the SRUDP data rate; local-replica reads beat
+// WAN-only reads by roughly the bandwidth ratio of the two paths.
+#include "bench_util.hpp"
+#include "files/fileserver.hpp"
+#include "rcds/server.hpp"
+
+namespace {
+
+using namespace snipe;
+using namespace snipe::bench;
+
+void BM_SinkSourceStreaming(benchmark::State& state) {
+  const std::size_t file_size = static_cast<std::size_t>(state.range(0));
+  double write_MBps = 0, read_MBps = 0;
+
+  for (auto _ : state) {
+    simnet::World world(9000);
+    auto& lan = world.create_network("lan", simnet::ethernet100());
+    for (const char* n : {"rc", "fs", "app"}) world.attach(world.create_host(n), lan);
+    rcds::RcServer rc(*world.host("rc"));
+    std::vector<simnet::Address> replicas = {rc.address()};
+    files::FileServer fs(*world.host("fs"), replicas);
+    transport::RpcEndpoint rpc(*world.host("app"), 9200);
+    files::FileClient client(rpc, replicas);
+
+    Bytes content(file_size, 0x11);
+    SimTime start = world.now();
+    bool ok = false;
+    client.write(fs.address(), "lifn://bench/file", content,
+                 [&](Result<void> r) { ok = r.ok(); });
+    world.engine().run();
+    double wsecs = to_seconds(world.now() - start);
+    if (!ok) {
+      state.SkipWithError("write failed");
+      return;
+    }
+    write_MBps = file_size / wsecs / 1e6;
+
+    start = world.now();
+    bool read_ok = false;
+    client.read("lifn://bench/file", [&](Result<Bytes> r) {
+      read_ok = r.ok() && r.value().size() == file_size;
+    });
+    world.engine().run();
+    double rsecs = to_seconds(world.now() - start);
+    if (!read_ok) {
+      state.SkipWithError("read failed");
+      return;
+    }
+    read_MBps = file_size / rsecs / 1e6;
+  }
+
+  state.counters["sim_write_MBps"] = write_MBps;
+  state.counters["sim_read_MBps"] = read_MBps;
+}
+
+BENCHMARK(BM_SinkSourceStreaming)
+    ->Arg(64 << 10)
+    ->Arg(1 << 20)
+    ->Arg(8 << 20)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ClosestReplica(benchmark::State& state) {
+  const bool has_local_replica = state.range(0) != 0;
+  double read_MBps = 0;
+  const std::size_t file_size = 4 << 20;
+
+  for (auto _ : state) {
+    simnet::World world(9001);
+    auto& lan = world.create_network("lan", simnet::ethernet100());
+    auto& wan = world.create_network("wan", simnet::wan_t3());
+    auto attach_both = [&](const std::string& n) -> simnet::Host& {
+      auto& h = world.create_host(n);
+      world.attach(h, lan);
+      world.attach(h, wan);
+      return h;
+    };
+    attach_both("rc");
+    attach_both("app");
+    attach_both("fs-near");
+    // The far server is WAN-only: reads from it cross the slow path.
+    auto& far_host = world.create_host("fs-far");
+    world.attach(far_host, wan);
+
+    rcds::RcServer rc(*world.host("rc"));
+    std::vector<simnet::Address> replicas = {rc.address()};
+    files::FileServer near_server(*world.host("fs-near"), replicas);
+    files::FileServer far_server(far_host, replicas);
+
+    Bytes content(file_size, 0x22);
+    far_server.store_local("lifn://bench/replicated", content);
+    if (has_local_replica) near_server.store_local("lifn://bench/replicated", content);
+    world.engine().run();
+
+    transport::RpcEndpoint rpc(*world.host("app"), 9200);
+    files::FileClient client(rpc, replicas);
+    SimTime start = world.now();
+    bool ok = false;
+    client.read("lifn://bench/replicated",
+                [&](Result<Bytes> r) { ok = r.ok() && r.value().size() == file_size; });
+    world.engine().run();
+    double secs = to_seconds(world.now() - start);
+    if (!ok) {
+      state.SkipWithError("read failed");
+      return;
+    }
+    read_MBps = file_size / secs / 1e6;
+  }
+
+  state.counters["sim_read_MBps"] = read_MBps;
+  state.SetLabel(has_local_replica ? "LAN replica available (closest wins)"
+                                   : "WAN replica only");
+}
+
+BENCHMARK(BM_ClosestReplica)->Arg(1)->Arg(0)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,135 @@
+// §6.1: PVMPI vs MPI_Connect point-to-point performance across MPPs.
+//
+// "Thus PVMPI was modified into MPI Connect, a new system based upon PVMPI
+//  that used SNIPE for name resolution and across host communication
+//  instead of utilizing PVM.  This system proved easier to maintain (no
+//  virtual machine to disappear) and also offered a slightly higher
+//  point-to-point communication performance."
+//
+// The harness runs the same cross-MPP ping-pong three ways — PVMPI (task ->
+// pvmd -> pvmd -> task), MPI_Connect (direct over SNIPE), and native MPI
+// inside one MPP (the upper bound) — sweeping message sizes.  Expected
+// shape: MPI_Connect beats PVMPI at every size (it skips two pvmd hops and
+// their store-and-forward serialization); both are far below intra-MPP
+// native MPI, which never leaves the myrinet fabric.
+#include "bench_util.hpp"
+#include "mpi/bridge.hpp"
+#include "rcds/server.hpp"
+
+namespace {
+
+using namespace snipe;
+using namespace snipe::bench;
+using namespace snipe::mpi;
+
+struct TwoMpps {
+  explicit TwoMpps(std::uint64_t seed) : world(seed) {
+    world.create_network("wan", simnet::wan_t3());
+    hosts_a = make_mpp("mppA", 2);
+    hosts_b = make_mpp("mppB", 2);
+    app_a = std::make_unique<MpiWorld>("appA", hosts_a);
+    app_b = std::make_unique<MpiWorld>("appB", hosts_b);
+  }
+
+  std::vector<simnet::Host*> make_mpp(const std::string& name, int n) {
+    auto& fabric = world.create_network(name + "-fabric", simnet::myrinet());
+    std::vector<simnet::Host*> hosts;
+    for (int i = 0; i < n; ++i) {
+      auto& h = world.create_host(name + "-n" + std::to_string(i));
+      world.attach(h, fabric);
+      world.attach(h, *world.network("wan"));
+      hosts.push_back(&h);
+    }
+    return hosts;
+  }
+
+  simnet::World world;
+  std::vector<simnet::Host*> hosts_a, hosts_b;
+  std::unique_ptr<MpiWorld> app_a, app_b;
+};
+
+constexpr int kRounds = 50;
+
+/// Cross-MPP ping-pong through a bridge; returns seconds per round trip.
+double bridge_ping_pong(TwoMpps& mpps, InterPort& a, InterPort& b, std::size_t size) {
+  int rounds = 0;
+  b.set_handler([&](InterMessage m) { b.send("appA", 0, 0, std::move(m.data)); });
+  a.set_handler([&](InterMessage m) {
+    if (++rounds < kRounds) a.send("appB", 0, 0, std::move(m.data));
+  });
+  SimTime start = mpps.world.now();
+  a.send("appB", 0, 0, Bytes(size, 0x42));
+  mpps.world.engine().run();
+  if (rounds != kRounds) return -1;
+  return to_seconds(mpps.world.now() - start) / kRounds;
+}
+
+void BM_InterMpi(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));  // 0 pvmpi, 1 mpi_connect, 2 native
+  const std::size_t size = static_cast<std::size_t>(state.range(1));
+  double per_round = -1;
+
+  for (auto _ : state) {
+    TwoMpps mpps(1234);
+    if (mode == 0) {
+      pvm::PvmDaemon master(*mpps.hosts_a[0]);
+      pvm::PvmDaemon slave(*mpps.hosts_b[0], master.address());
+      mpps.world.engine().run();
+      PvmpiPort a(mpps.app_a->rank(0), "appA", master, [](Result<void>) {});
+      PvmpiPort b(mpps.app_b->rank(0), "appB", slave, [](Result<void>) {});
+      mpps.world.engine().run();
+      per_round = bridge_ping_pong(mpps, a, b, size);
+    } else if (mode == 1) {
+      auto& rc_host = mpps.world.create_host("rc");
+      mpps.world.attach(rc_host, *mpps.world.network("wan"));
+      rcds::RcServer rc(rc_host);
+      MpiConnectPort a(mpps.app_a->rank(0), "appA", {rc.address()}, [](Result<void>) {});
+      MpiConnectPort b(mpps.app_b->rank(0), "appB", {rc.address()}, [](Result<void>) {});
+      mpps.world.engine().run();
+      per_round = bridge_ping_pong(mpps, a, b, size);
+    } else {
+      // Native intra-MPP ping-pong between ranks 0 and 1 of app A.
+      int rounds = 0;
+      auto& r0 = mpps.app_a->rank(0);
+      auto& r1 = mpps.app_a->rank(1);
+      std::function<void(MpiMessage)> at0 = [&](MpiMessage m) {
+        if (++rounds < kRounds) {
+          r0.send(1, 0, std::move(m.data));
+          r0.recv(1, 0, at0);
+        }
+      };
+      std::function<void(MpiMessage)> at1 = [&](MpiMessage m) {
+        r1.send(0, 0, std::move(m.data));
+        r1.recv(0, 0, at1);
+      };
+      r1.recv(0, 0, at1);
+      r0.recv(1, 0, at0);
+      SimTime start = mpps.world.now();
+      r0.send(1, 0, Bytes(size, 0x42));
+      mpps.world.engine().run();
+      per_round = rounds == kRounds
+                      ? to_seconds(mpps.world.now() - start) / kRounds
+                      : -1;
+    }
+  }
+  if (per_round <= 0) {
+    state.SkipWithError("ping-pong incomplete");
+    return;
+  }
+  state.counters["sim_rtt_ms"] = per_round * 1e3;
+  state.counters["sim_MBps"] = 2.0 * size / per_round / 1e6;  // both directions
+  static const char* names[] = {"PVMPI", "MPI_Connect", "native-MPI"};
+  state.SetLabel(names[mode]);
+}
+
+void args(benchmark::internal::Benchmark* b) {
+  for (int mode : {0, 1, 2})
+    for (std::int64_t size : {1, 1024, 16384, 262144, 1048576})
+      b->Args({mode, size});
+}
+
+BENCHMARK(BM_InterMpi)->Apply(args)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,182 @@
+// T-mcast: the two multicast designs (§5.4 and §6).
+//
+// 1. The wide-area router-based groups: delivery stays reliable as the
+//    group grows and as routers fail (majority send + router relays).
+// 2. The "experimental multicast protocol for ethernet": one broadcast
+//    serves the whole segment, so sender cost is ~independent of group
+//    size, versus unicast fan-out whose cost grows linearly.
+//
+// Expected shape: router-based delivery is 100% including with one router
+// dead; Ethernet-multicast sender fragments stay flat with group size
+// while unicast fan-out fragments grow ~linearly.
+#include "bench_util.hpp"
+#include "core/group.hpp"
+#include "core/process.hpp"
+#include "rcds/server.hpp"
+#include "transport/ethmcast.hpp"
+#include "util/uri.hpp"
+
+namespace {
+
+using namespace snipe;
+using namespace snipe::bench;
+
+void BM_GroupDelivery(benchmark::State& state) {
+  const int members = static_cast<int>(state.range(0));
+  const bool kill_router = state.range(1) != 0;
+  const int messages = 20;
+
+  double delivery_pct = 0, routers = 0;
+  double sim_latency_ms = 0;
+
+  for (auto _ : state) {
+    simnet::World world(6000 + static_cast<std::uint64_t>(members));
+    auto& lan = world.create_network("lan", simnet::ethernet100());
+    auto& wan = world.create_network("wan", simnet::wan_t3());
+    auto& rc_host = world.create_host("rc");
+    world.attach(rc_host, lan);
+    world.attach(rc_host, wan);
+    rcds::RcServer rc(rc_host);
+    std::vector<simnet::Address> replicas = {rc.address()};
+
+    std::vector<std::unique_ptr<core::SnipeProcess>> procs;
+    std::vector<std::unique_ptr<core::MulticastGroup>> groups;
+    std::string g = group_urn("bench");
+    int delivered = 0;
+    std::vector<SimTime> sent_at(messages);
+    SimDuration total_latency = 0;
+    int latency_samples = 0;
+    for (int i = 0; i < members; ++i) {
+      auto& h = world.create_host("m" + std::to_string(i));
+      world.attach(h, lan);
+      world.attach(h, wan);
+      procs.push_back(
+          std::make_unique<core::SnipeProcess>(h, "m" + std::to_string(i), replicas));
+      world.engine().run();
+      groups.push_back(std::make_unique<core::MulticastGroup>(*procs.back(), g));
+      world.engine().run();
+      groups.back()->set_handler([&, i](const std::string&, Bytes body) {
+        ByteReader r(body);
+        auto seq = r.i64();
+        if (seq && i != 0) {
+          total_latency += world.now() - sent_at[static_cast<std::size_t>(seq.value())];
+          ++latency_samples;
+        }
+        ++delivered;
+      });
+    }
+    int router_count = 0;
+    for (auto& grp : groups) router_count += grp->is_router();
+
+    if (kill_router) {
+      // Kill the last member that hosts a router (member 0 is the sender).
+      for (int i = members - 1; i > 0; --i) {
+        if (groups[static_cast<std::size_t>(i)]->is_router()) {
+          world.host("m" + std::to_string(i))->set_up(false);
+          break;
+        }
+      }
+    }
+
+    for (int s = 0; s < messages; ++s) {
+      ByteWriter w;
+      w.i64(s);
+      sent_at[static_cast<std::size_t>(s)] = world.now();
+      groups[0]->send(std::move(w).take());
+      world.engine().run();
+    }
+    world.engine().run_for(duration::seconds(10));
+
+    int expected_receivers = members - (kill_router ? 1 : 0);
+    delivery_pct = 100.0 * delivered / (messages * expected_receivers);
+    routers = router_count;
+    sim_latency_ms =
+        latency_samples > 0 ? to_seconds(total_latency / latency_samples) * 1e3 : 0;
+  }
+
+  state.counters["delivery_pct"] = delivery_pct;
+  state.counters["routers"] = routers;
+  state.counters["sim_latency_ms"] = sim_latency_ms;
+  state.SetLabel(std::to_string(members) + " members" +
+                 (kill_router ? ", one router killed" : ""));
+}
+
+void group_args(benchmark::internal::Benchmark* b) {
+  for (std::int64_t members : {3, 8, 16, 32}) b->Args({members, 0});
+  b->Args({8, 1});
+  b->Args({16, 1});
+}
+
+BENCHMARK(BM_GroupDelivery)->Apply(group_args)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+// Ethernet multicast vs unicast fan-out: sender cost per delivered byte.
+void BM_EthMcastVsUnicast(benchmark::State& state) {
+  const int receivers = static_cast<int>(state.range(0));
+  const bool use_multicast = state.range(1) != 0;
+  const std::size_t msg_size = 100'000;
+  const int messages = 10;
+
+  double sender_fragments = 0, sim_ms = 0;
+  int delivered = 0;
+
+  for (auto _ : state) {
+    simnet::World world(6100 + static_cast<std::uint64_t>(receivers));
+    auto& seg = world.create_network("seg", simnet::ethernet100());
+    auto& sender_host = world.create_host("tx");
+    world.attach(sender_host, seg);
+    delivered = 0;
+
+    if (use_multicast) {
+      std::vector<std::unique_ptr<transport::EthMcastEndpoint>> members;
+      auto tx =
+          std::make_unique<transport::EthMcastEndpoint>(sender_host, "seg", "grp", 9000);
+      for (int i = 0; i < receivers; ++i) {
+        auto& h = world.create_host("rx" + std::to_string(i));
+        world.attach(h, seg);
+        members.push_back(
+            std::make_unique<transport::EthMcastEndpoint>(h, "seg", "grp", 9000));
+        members.back()->set_handler(
+            [&](const simnet::Address&, Bytes) { ++delivered; });
+      }
+      SimTime start = world.now();
+      for (int m = 0; m < messages; ++m) tx->send(Bytes(msg_size, 0x77));
+      world.engine().run();
+      sim_ms = to_seconds(world.now() - start) * 1e3;
+      sender_fragments = static_cast<double>(tx->stats().fragments_broadcast +
+                                             tx->stats().repairs_sent);
+    } else {
+      transport::SrudpEndpoint tx(sender_host, 9000);
+      std::vector<std::unique_ptr<transport::SrudpEndpoint>> members;
+      for (int i = 0; i < receivers; ++i) {
+        auto& h = world.create_host("rx" + std::to_string(i));
+        world.attach(h, seg);
+        members.push_back(std::make_unique<transport::SrudpEndpoint>(h, 9001));
+        members.back()->set_handler(
+            [&](const simnet::Address&, Bytes) { ++delivered; });
+      }
+      SimTime start = world.now();
+      for (int m = 0; m < messages; ++m)
+        for (auto& rx : members) tx.send(rx->address(), Bytes(msg_size, 0x77));
+      world.engine().run();
+      sim_ms = to_seconds(world.now() - start) * 1e3;
+      sender_fragments = static_cast<double>(tx.stats().fragments_sent);
+    }
+    if (delivered != receivers * messages) state.SkipWithError("delivery incomplete");
+  }
+
+  state.counters["sender_fragments"] = sender_fragments;
+  state.counters["sim_ms_total"] = sim_ms;
+  state.SetLabel(std::string(use_multicast ? "eth-multicast" : "unicast-fanout") + ", " +
+                 std::to_string(receivers) + " receivers");
+}
+
+void eth_args(benchmark::internal::Benchmark* b) {
+  for (std::int64_t mode : {1, 0})
+    for (std::int64_t receivers : {2, 4, 8, 16}) b->Args({receivers, mode});
+}
+
+BENCHMARK(BM_EthMcastVsUnicast)->Apply(eth_args)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,114 @@
+// T-mm: master-master vs single-master metadata replication (§7).
+//
+// "A major difference between MDS and SNIPE RC servers is MDS is based on
+//  LDAP ... The RC servers are based on a true master-master update data
+//  model and are inherently more scalable."
+//
+// The harness drives a mixed read/write workload from clients spread
+// across the replicas, sweeping the replica count, in both modes:
+// master-master (any replica accepts the write) and single-master (writes
+// referred to replica 0, LDAP-style).  Expected shape: master-master write
+// throughput grows with replicas (writes land locally) while single-master
+// throughput stays flat-to-falling (every write funnels through one node
+// and pays a referral round trip); read scaling is similar in both.
+#include "bench_util.hpp"
+#include "rcds/client.hpp"
+#include "rcds/server.hpp"
+
+namespace {
+
+using namespace snipe;
+using namespace snipe::bench;
+
+void BM_RcdsReplication(benchmark::State& state) {
+  const int replicas = static_cast<int>(state.range(0));
+  const bool single_master = state.range(1) != 0;
+  const int ops_per_client = 200;
+
+  double write_rate = 0, read_rate = 0;
+
+  for (auto _ : state) {
+    simnet::World world(5000 + static_cast<std::uint64_t>(replicas));
+    auto& lan = world.create_network("lan", simnet::ethernet100());
+
+    std::vector<std::unique_ptr<rcds::RcServer>> servers;
+    std::vector<simnet::Address> addrs;
+    for (int i = 0; i < replicas; ++i) {
+      auto& h = world.create_host("rc" + std::to_string(i));
+      world.attach(h, lan);
+      rcds::RcServerConfig cfg;
+      cfg.single_master = single_master;
+      servers.push_back(
+          std::make_unique<rcds::RcServer>(h, rcds::RcServer::kDefaultPort, cfg));
+      addrs.push_back(servers.back()->address());
+    }
+    // In single-master mode peers.front() is the master by convention, so
+    // every server lists the same ordered peer set.
+    for (auto& s : servers) s->set_peers(addrs);
+
+    // One client co-located per replica, preferring its local replica.
+    struct Client {
+      std::unique_ptr<transport::RpcEndpoint> rpc;
+      std::unique_ptr<rcds::RcClient> rc;
+    };
+    std::vector<Client> clients;
+    for (int i = 0; i < replicas; ++i) {
+      auto& h = world.create_host("cl" + std::to_string(i));
+      world.attach(h, lan);
+      Client c;
+      c.rpc = std::make_unique<transport::RpcEndpoint>(h, 9000);
+      // Rotate the replica list so each client prefers a different server.
+      std::vector<simnet::Address> order;
+      for (int j = 0; j < replicas; ++j) order.push_back(addrs[(i + j) % replicas]);
+      c.rc = std::make_unique<rcds::RcClient>(*c.rpc, order);
+      clients.push_back(std::move(c));
+    }
+
+    // Write phase.
+    int writes_done = 0;
+    SimTime start = world.now();
+    for (int i = 0; i < replicas; ++i) {
+      for (int op = 0; op < ops_per_client; ++op) {
+        clients[i].rc->set("urn:snipe:proc:p" + std::to_string(i * 1000 + op), "proc:state",
+                           "running", [&](Result<void> r) { writes_done += r.ok(); });
+      }
+    }
+    world.engine().run();
+    double write_secs = to_seconds(world.now() - start);
+    write_rate = writes_done / write_secs;
+
+    // Read phase (read your own writes back).
+    int reads_done = 0;
+    start = world.now();
+    for (int i = 0; i < replicas; ++i) {
+      for (int op = 0; op < ops_per_client; ++op) {
+        clients[i].rc->lookup("urn:snipe:proc:p" + std::to_string(i * 1000 + op),
+                              "proc:state", [&](Result<std::vector<std::string>> r) {
+                                reads_done += r.ok() && !r.value().empty();
+                              });
+      }
+    }
+    world.engine().run();
+    double read_secs = to_seconds(world.now() - start);
+    read_rate = reads_done / read_secs;
+
+    if (writes_done != replicas * ops_per_client) state.SkipWithError("writes failed");
+  }
+
+  state.counters["sim_writes_per_s"] = write_rate;
+  state.counters["sim_reads_per_s"] = read_rate;
+  state.SetLabel(std::string(single_master ? "single-master(LDAP-style)" : "master-master") +
+                 ", " + std::to_string(replicas) + " replicas");
+}
+
+void args(benchmark::internal::Benchmark* b) {
+  for (std::int64_t mode : {0, 1})
+    for (std::int64_t replicas : {1, 2, 4, 8, 16})
+      b->Args({replicas, mode});
+}
+
+BENCHMARK(BM_RcdsReplication)->Apply(args)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

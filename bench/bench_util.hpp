@@ -1,0 +1,50 @@
+// Shared helpers for the SNIPE benchmark harnesses.
+//
+// Every bench runs a deterministic simulation and reports *virtual-time*
+// metrics (bandwidth, latency, recovery time) through google-benchmark
+// counters; wall-clock time measures only the simulator itself.  Because
+// runs are deterministic, each case runs a single iteration.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include "simnet/world.hpp"
+
+namespace snipe::bench {
+
+/// Media indexed by bench argument.
+inline simnet::MediaModel media_by_index(int i) {
+  switch (i) {
+    case 0: return simnet::ethernet10();
+    case 1: return simnet::ethernet100();
+    case 2: return simnet::atm155();
+    case 3: return simnet::myrinet();
+    case 4: return simnet::wan_t3();
+    default: return simnet::internet_lossy();
+  }
+}
+
+inline const char* media_name(int i) {
+  switch (i) {
+    case 0: return "eth10";
+    case 1: return "eth100";
+    case 2: return "atm155";
+    case 3: return "myrinet";
+    case 4: return "wan_t3";
+    default: return "internet";
+  }
+}
+
+/// Two hosts joined by one network of the given media.
+struct PairWorld {
+  explicit PairWorld(simnet::MediaModel media, std::uint64_t seed = 1) : world(seed) {
+    auto& net = world.create_network("net", std::move(media));
+    world.attach(world.create_host("a"), net);
+    world.attach(world.create_host("b"), net);
+  }
+  simnet::Host& a() { return *world.host("a"); }
+  simnet::Host& b() { return *world.host("b"); }
+  simnet::World world;
+};
+
+}  // namespace snipe::bench

@@ -1,0 +1,169 @@
+// Indexing a distributed digital library.
+//
+// The paper's first motivating application (§1): "Indexing and cataloging
+// the worldwide digital library, which will have hundreds of millions of
+// documents, produced at millions of different locations."  Scaled to a
+// simulation-sized library, this example exercises:
+//
+//   * replicated file servers holding documents under LIFNs (§3.2, §5.9),
+//     with locations registered in RC;
+//   * indexer processes spawned across hosts by a resource manager (§3.5),
+//     each reading documents from the *closest* replica;
+//   * an index stored back as RC metadata, queried through a console;
+//   * a file-server failure mid-run: reads fail over to surviving
+//     replicas and indexing completes anyway (§6's availability story).
+//
+//   $ ./digital_library
+#include <cstdio>
+#include <set>
+
+#include "core/console.hpp"
+#include "core/process.hpp"
+#include "files/fileserver.hpp"
+#include "rcds/server.hpp"
+
+using namespace snipe;
+
+namespace {
+
+/// Generates a pseudo-document: words drawn from a small vocabulary.
+Bytes make_document(int id) {
+  static const char* vocabulary[] = {"matrix", "solver", "weather", "network",
+                                     "protocol", "library", "archive", "catalog"};
+  Rng rng(9000 + static_cast<std::uint64_t>(id));
+  std::string text;
+  for (int w = 0; w < 60; ++w) {
+    text += vocabulary[rng.next_below(8)];
+    text += ' ';
+  }
+  return to_bytes(text);
+}
+
+/// Counts occurrences of `word` in a document body.
+int count_word(const Bytes& body, const std::string& word) {
+  std::string text = to_string(body);
+  int n = 0;
+  for (std::size_t pos = text.find(word); pos != std::string::npos;
+       pos = text.find(word, pos + 1))
+    ++n;
+  return n;
+}
+
+}  // namespace
+
+int main() {
+  simnet::World world(11);
+  auto& lan_east = world.create_network("east-lan", simnet::ethernet100());
+  auto& lan_west = world.create_network("west-lan", simnet::ethernet100());
+  auto& wan = world.create_network("wan", simnet::wan_t3());
+  auto add_host = [&](const std::string& name, simnet::Network& lan) -> simnet::Host& {
+    auto& h = world.create_host(name);
+    world.attach(h, lan);
+    world.attach(h, wan);
+    return h;
+  };
+  add_host("rc-east", lan_east);
+  add_host("rc-west", lan_west);
+  add_host("fs-east", lan_east);
+  add_host("fs-west", lan_west);
+  add_host("ix-east", lan_east);
+  add_host("ix-west", lan_west);
+  add_host("reader", lan_east);
+
+  rcds::RcServer rc_east(*world.host("rc-east"));
+  rcds::RcServer rc_west(*world.host("rc-west"));
+  rc_east.set_peers({rc_west.address()});
+  rc_west.set_peers({rc_east.address()});
+  std::vector<simnet::Address> rc = {rc_east.address(), rc_west.address()};
+
+  files::FileServerConfig fs_cfg;
+  fs_cfg.replication_factor = 2;  // every document on both servers
+  files::FileServer fs_east(*world.host("fs-east"), rc, files::FileServer::kDefaultPort,
+                            fs_cfg);
+  files::FileServer fs_west(*world.host("fs-west"), rc, files::FileServer::kDefaultPort,
+                            fs_cfg);
+  fs_east.set_peers({fs_west.address()});
+  fs_west.set_peers({fs_east.address()});
+
+  std::printf("== distributed digital library ==\n");
+
+  // Publish the collection through a SNIPE process on the east coast;
+  // replication pushes copies west automatically.
+  core::SnipeProcess librarian(*world.host("reader"), "librarian", rc);
+  files::FileClient lib_files(librarian.rpc(), rc);
+  const int kDocs = 40;
+  int published = 0;
+  for (int d = 0; d < kDocs; ++d) {
+    lib_files.write(fs_east.address(), "lifn://library/doc/" + std::to_string(d),
+                    make_document(d), [&](Result<void> r) { published += r.ok(); });
+  }
+  world.engine().run();
+  std::printf("published %d documents (east=%zu files, west=%zu files after replication)\n",
+              published, fs_east.file_count(), fs_west.file_count());
+
+  // Two indexers, one per site, split the collection and count the word
+  // "weather", storing results in RC under an index URI.
+  struct Indexer {
+    Indexer(simnet::World& world, const std::string& host, const std::string& name,
+            std::vector<simnet::Address> rc)
+        : process(*world.host(host), name, rc), files(process.rpc(), rc) {}
+    void index_range(int begin, int end, int* failures) {
+      for (int d = begin; d < end; ++d) {
+        files.read("lifn://library/doc/" + std::to_string(d),
+                   [this, d, failures](Result<Bytes> r) {
+                     if (!r) {
+                       ++*failures;
+                       return;
+                     }
+                     int hits = count_word(r.value(), "weather");
+                     process.rc().set("urn:snipe:index:weather",
+                                      "doc:" + std::to_string(d), std::to_string(hits),
+                                      [](Result<void>) {});
+                     ++indexed;
+                   });
+      }
+    }
+    core::SnipeProcess process;
+    files::FileClient files;
+    int indexed = 0;
+  };
+
+  Indexer east(world, "ix-east", "indexer-east", rc);
+  Indexer west(world, "ix-west", "indexer-west", rc);
+  world.engine().run();
+
+  int failures = 0;
+  east.index_range(0, kDocs / 2, &failures);
+  // Mid-run, the west file server dies: the west indexer's closest replica
+  // vanishes and every read must fail over to the east server over the WAN.
+  west.index_range(kDocs / 2, kDocs * 3 / 4, &failures);
+  world.engine().run();
+  std::printf("first wave indexed: east=%d west=%d (failures=%d)\n", east.indexed,
+              west.indexed, failures);
+
+  std::printf("killing fs-west; indexing the remaining quarter from the west site\n");
+  world.host("fs-west")->set_up(false);
+  west.index_range(kDocs * 3 / 4, kDocs, &failures);
+  world.engine().run_for(duration::seconds(30));
+
+  std::printf("after failover: west indexed %d documents total, failures=%d\n",
+              west.indexed, failures);
+
+  // A console tallies the index from RC metadata.
+  core::SnipeProcess console_proc(*world.host("reader"), "console", rc);
+  core::Console console(console_proc);
+  int total_hits = 0, docs_indexed = 0;
+  console.query("urn:snipe:index:weather", [&](Result<std::vector<rcds::Assertion>> r) {
+    if (!r) return;
+    for (const auto& a : r.value()) {
+      ++docs_indexed;
+      total_hits += std::stoi(a.value);
+    }
+  });
+  world.engine().run();
+
+  std::printf("== index complete: %d/%d documents, %d total occurrences of "
+              "\"weather\", t=%s ==\n",
+              docs_indexed, kDocs, total_hits, format_time(world.now()).c_str());
+  return docs_indexed == kDocs && failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,157 @@
+// MPI_Connect: coupling two MPPs' MPI applications through SNIPE (§6.1).
+//
+// Reproduces the PVMPI/MPI_Connect scenario: an "ocean" model on MPP A and
+// an "atmosphere" model on MPP B, each running in its own vendor-MPI world
+// on a private myrinet fabric, exchanging boundary data across the WAN
+// every timestep.  The exchange runs twice — once bridged by PVMPI (via
+// PVM daemons) and once by MPI_Connect (via SNIPE) — and reports both
+// coupled-timestep rates, showing MPI_Connect's point-to-point edge.
+//
+//   $ ./mpi_connect_bridge
+#include <cstdio>
+
+#include "mpi/bridge.hpp"
+#include "rcds/server.hpp"
+
+using namespace snipe;
+using namespace snipe::mpi;
+
+namespace {
+
+std::vector<simnet::Host*> make_mpp(simnet::World& world, const std::string& name, int n) {
+  auto& fabric = world.create_network(name + "-fabric", simnet::myrinet());
+  std::vector<simnet::Host*> hosts;
+  for (int i = 0; i < n; ++i) {
+    auto& h = world.create_host(name + "-n" + std::to_string(i));
+    world.attach(h, fabric);
+    world.attach(h, *world.network("wan"));
+    hosts.push_back(&h);
+  }
+  return hosts;
+}
+
+/// One coupled model: every timestep, rank 0 gathers a local reduction,
+/// exchanges the boundary value with the peer application through the
+/// bridge, then broadcasts the remote value to its ranks.
+struct CoupledModel {
+  CoupledModel(MpiWorld& world, InterPort& port, std::string peer, int peer_rank)
+      : world(world), port(port), peer(std::move(peer)), peer_rank(peer_rank) {
+    port.set_handler([this](InterMessage m) {
+      ByteReader r(m.data);
+      remote_boundary = r.i64().value_or(0);
+      got_remote = true;
+      maybe_finish_step();
+    });
+  }
+
+  void run_steps(int n, std::function<void()> done) {
+    steps_left = n;
+    on_all_done = std::move(done);
+    step();
+  }
+
+  void step() {
+    got_remote = false;
+    reduced = false;
+    // Local physics: each rank contributes rank+step to the boundary sum.
+    for (int r = 0; r < world.size(); ++r) {
+      world.rank(r).allreduce_sum(r + steps_left, [this, r](std::int64_t total) {
+        if (r != 0) return;
+        local_boundary = total;
+        reduced = true;
+        ByteWriter w;
+        w.i64(total);
+        port.send(peer, peer_rank, 0, std::move(w).take());
+        maybe_finish_step();
+      });
+    }
+  }
+
+  void maybe_finish_step() {
+    if (!reduced || !got_remote) return;
+    coupling_sum += remote_boundary;
+    if (--steps_left > 0) {
+      step();
+    } else if (on_all_done) {
+      on_all_done();
+    }
+  }
+
+  MpiWorld& world;
+  InterPort& port;
+  std::string peer;
+  int peer_rank;
+  int steps_left = 0;
+  bool reduced = false, got_remote = false;
+  std::int64_t local_boundary = 0, remote_boundary = 0, coupling_sum = 0;
+  std::function<void()> on_all_done;
+};
+
+}  // namespace
+
+int main() {
+  const int kSteps = 50;
+  std::printf("== coupled ocean/atmosphere across two MPPs ==\n");
+
+  auto run_coupled = [&](bool use_mpi_connect) -> double {
+    simnet::World world(33);
+    world.create_network("wan", simnet::wan_t3());
+    auto hosts_a = make_mpp(world, "ocean", 4);
+    auto hosts_b = make_mpp(world, "atmos", 4);
+    MpiWorld ocean("ocean", hosts_a);
+    MpiWorld atmos("atmos", hosts_b);
+
+    std::unique_ptr<rcds::RcServer> rc;
+    std::unique_ptr<pvm::PvmDaemon> pvmd_a, pvmd_b;
+    std::unique_ptr<InterPort> port_a, port_b;
+
+    if (use_mpi_connect) {
+      auto& rc_host = world.create_host("rc");
+      world.attach(rc_host, *world.network("wan"));
+      rc = std::make_unique<rcds::RcServer>(rc_host);
+      port_a = std::make_unique<MpiConnectPort>(
+          ocean.rank(0), "ocean", std::vector<simnet::Address>{rc->address()},
+          [](Result<void>) {});
+      port_b = std::make_unique<MpiConnectPort>(
+          atmos.rank(0), "atmos", std::vector<simnet::Address>{rc->address()},
+          [](Result<void>) {});
+    } else {
+      pvmd_a = std::make_unique<pvm::PvmDaemon>(*hosts_a[0]);
+      pvmd_b = std::make_unique<pvm::PvmDaemon>(*hosts_b[0], pvmd_a->address());
+      world.engine().run();
+      port_a = std::make_unique<PvmpiPort>(ocean.rank(0), "ocean", *pvmd_a,
+                                           [](Result<void>) {});
+      port_b = std::make_unique<PvmpiPort>(atmos.rank(0), "atmos", *pvmd_b,
+                                           [](Result<void>) {});
+    }
+    world.engine().run();
+
+    CoupledModel ocean_model(ocean, *port_a, "atmos", 0);
+    CoupledModel atmos_model(atmos, *port_b, "ocean", 0);
+
+    SimTime start = world.now();
+    int done = 0;
+    ocean_model.run_steps(kSteps, [&] { ++done; });
+    atmos_model.run_steps(kSteps, [&] { ++done; });
+    world.engine().run();
+    double seconds = to_seconds(world.now() - start);
+
+    if (done != 2 || ocean_model.coupling_sum != atmos_model.coupling_sum) {
+      // Symmetric workload: both sides must agree on what they exchanged.
+      std::printf("  WARNING: coupling mismatch (done=%d, %lld vs %lld)\n", done,
+                  static_cast<long long>(ocean_model.coupling_sum),
+                  static_cast<long long>(atmos_model.coupling_sum));
+    }
+    return kSteps / seconds;
+  };
+
+  double pvmpi_rate = run_coupled(false);
+  double connect_rate = run_coupled(true);
+  std::printf("  PVMPI       : %7.1f coupled steps/s (via pvmd store-and-forward)\n",
+              pvmpi_rate);
+  std::printf("  MPI_Connect : %7.1f coupled steps/s (direct over SNIPE)\n", connect_rate);
+  std::printf("  speedup     : %.2fx — \"a slightly higher point-to-point "
+              "communication performance\" (§6.1)\n",
+              connect_rate / pvmpi_rate);
+  return connect_rate > pvmpi_rate ? 0 : 1;
+}

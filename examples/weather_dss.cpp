@@ -1,0 +1,196 @@
+// Weather monitoring decision-support network.
+//
+// One of the paper's motivating applications (§1): "Monitoring of weather
+// and prediction of catastrophic conditions to provide planning and
+// decision support for emergency relief."  This example exercises the
+// whole stack the way that application would:
+//
+//   * 6 sensor stations on three different sites (two LANs + a WAN),
+//     publishing readings into a multicast group (§5.4);
+//   * 2 analysis processes subscribed to the group, maintaining running
+//     statistics and raising alarms;
+//   * a console process watching process state through RC (§3.7);
+//   * mid-run, one analysis process *migrates* to another host without
+//     losing readings (§5.6);
+//   * mid-run, one sensor site's router host fails — the group keeps
+//     delivering through the surviving routers (graceful degradation, §1).
+//
+//   $ ./weather_dss
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "core/console.hpp"
+#include "core/group.hpp"
+#include "core/process.hpp"
+#include "rcds/server.hpp"
+#include "util/uri.hpp"
+
+using namespace snipe;
+
+namespace {
+
+/// A sensor station: publishes a pseudo-temperature every second.
+struct Sensor {
+  Sensor(simnet::World& world, const std::string& host, int id,
+         const std::vector<simnet::Address>& rc, const std::string& group)
+      : process(*world.host(host), "sensor-" + std::to_string(id), rc),
+        member(process, group),
+        id(id),
+        rng(1000 + static_cast<std::uint64_t>(id)) {}
+
+  void start(simnet::Engine& engine, SimTime stop_at) {
+    stop_at_ = stop_at;
+    tick(engine);
+  }
+  void tick(simnet::Engine& engine) {
+    if (engine.now() >= stop_at_) return;  // observation campaign over
+    // A slow warm front plus noise; sensor 3 sits in a storm cell.
+    double base = 15.0 + 0.002 * to_seconds(engine.now()) * 60.0;
+    if (id == 3) base += 25.0;
+    std::int64_t reading = static_cast<std::int64_t>(base + rng.next_range(-2, 2));
+    ByteWriter w;
+    w.i32(id);
+    w.i64(reading);
+    member.send(std::move(w).take());
+    ++sent;
+    engine.schedule(duration::seconds(1), [this, &engine] { tick(engine); });
+  }
+  SimTime stop_at_ = 0;
+
+  core::SnipeProcess process;
+  core::MulticastGroup member;
+  int id;
+  Rng rng;
+  int sent = 0;
+};
+
+/// An analysis node: aggregates readings, raises alarms over 35 degrees.
+struct Analyzer {
+  Analyzer(simnet::World& world, const std::string& host, const std::string& name,
+           const std::vector<simnet::Address>& rc, const std::string& group)
+      : process(*world.host(host), name, rc), member(process, group) {
+    member.set_handler([this](const std::string&, Bytes body) {
+      ByteReader r(body);
+      auto id = r.i32();
+      auto reading = r.i64();
+      if (!id || !reading) return;
+      ++received;
+      auto& s = per_sensor[id.value()];
+      s.count++;
+      s.sum += reading.value();
+      if (reading.value() > 35 && !alarmed.count(id.value())) {
+        alarmed.insert(id.value());
+        std::printf("  [%s] ALARM: sensor %d reports %lld degrees\n",
+                    process.urn().c_str(), id.value(),
+                    static_cast<long long>(reading.value()));
+      }
+    });
+  }
+
+  struct Stat {
+    int count = 0;
+    std::int64_t sum = 0;
+  };
+  core::SnipeProcess process;
+  core::MulticastGroup member;
+  std::map<int, Stat> per_sensor;
+  std::set<int> alarmed;
+  int received = 0;
+};
+
+}  // namespace
+
+int main() {
+  simnet::World world(7);
+  // Three sites: two campus LANs joined by a WAN.
+  auto& utk = world.create_network("utk-lan", simnet::ethernet100());
+  auto& reading_uk = world.create_network("reading-lan", simnet::ethernet100());
+  auto& wan = world.create_network("wan", simnet::wan_t3());
+
+  auto add_host = [&](const std::string& name, simnet::Network& lan) -> simnet::Host& {
+    auto& h = world.create_host(name);
+    world.attach(h, lan);
+    world.attach(h, wan);
+    return h;
+  };
+  // Replicated registry: one RC server per site (availability, §6).
+  add_host("rc-utk", utk);
+  add_host("rc-reading", reading_uk);
+  rcds::RcServer rc1(*world.host("rc-utk"));
+  rcds::RcServer rc2(*world.host("rc-reading"));
+  rc1.set_peers({rc2.address()});
+  rc2.set_peers({rc1.address()});
+  std::vector<simnet::Address> rc = {rc1.address(), rc2.address()};
+
+  for (int i = 0; i < 3; ++i) add_host("utk-s" + std::to_string(i), utk);
+  for (int i = 0; i < 3; ++i) add_host("rdg-s" + std::to_string(i), reading_uk);
+  add_host("utk-compute", utk);
+  add_host("rdg-compute", reading_uk);
+  add_host("spare-compute", utk);
+  add_host("ops-console", reading_uk);
+
+  const std::string group = group_urn("weather-feed");
+
+  std::printf("== weather decision-support network ==\n");
+  // Analyzers join first (they become the group's routers).
+  Analyzer utk_analysis(world, "utk-compute", "analysis-utk", rc, group);
+  Analyzer rdg_analysis(world, "rdg-compute", "analysis-rdg", rc, group);
+  world.engine().run();
+
+  std::vector<std::unique_ptr<Sensor>> sensors;
+  for (int i = 0; i < 3; ++i)
+    sensors.push_back(
+        std::make_unique<Sensor>(world, "utk-s" + std::to_string(i), i, rc, group));
+  for (int i = 3; i < 6; ++i)
+    sensors.push_back(
+        std::make_unique<Sensor>(world, "rdg-s" + std::to_string(i - 3), i, rc, group));
+  world.engine().run();
+  for (auto& s : sensors) s->start(world.engine(), duration::seconds(90));
+
+  core::SnipeProcess console_proc(*world.host("ops-console"), "ops", rc);
+  core::Console console(console_proc);
+
+  // Phase 1: 30 seconds of normal operation.
+  world.engine().run_until(duration::seconds(30));
+  std::printf("t=30s  readings received: utk=%d rdg=%d\n", utk_analysis.received,
+              rdg_analysis.received);
+
+  // Phase 2: the UTK analysis process migrates to the spare host (§5.6) —
+  // no readings may be lost while it moves.
+  int before_migration = utk_analysis.received;
+  std::printf("t=30s  migrating analysis-utk -> spare-compute\n");
+  utk_analysis.process.migrate_to(*world.host("spare-compute"), [](Result<void> r) {
+    std::printf("       migration %s\n", r.ok() ? "complete" : "FAILED");
+  });
+  world.engine().run_until(duration::seconds(60));
+  std::printf("t=60s  analysis-utk received %d more readings after migrating\n",
+              utk_analysis.received - before_migration);
+
+  // Phase 3: a sensor host dies; the system degrades gracefully.
+  std::printf("t=60s  killing host utk-s1 (sensor 1 goes dark)\n");
+  world.host("utk-s1")->set_up(false);
+  world.engine().run_until(duration::seconds(90));
+
+  std::printf("t=90s  final per-sensor means at analysis-rdg:\n");
+  for (const auto& [id, stat] : rdg_analysis.per_sensor) {
+    std::printf("         sensor %d: %4d readings, mean %.1f\n", id, stat.count,
+                static_cast<double>(stat.sum) / stat.count);
+  }
+
+  // The console checks the migrated process's whereabouts through RC.
+  console.query(utk_analysis.process.urn(), [](Result<std::vector<rcds::Assertion>> r) {
+    if (!r) return;
+    for (const auto& a : r.value())
+      if (a.name == rcds::names::kProcHost)
+        std::printf("console: analysis-utk now reported on host '%s'\n", a.value.c_str());
+  });
+  world.engine().run();
+
+  bool alarm_seen = !utk_analysis.alarmed.empty() || !rdg_analysis.alarmed.empty();
+  std::printf("== done: %d+%d readings processed, alarms %s, t=%s ==\n",
+              utk_analysis.received, rdg_analysis.received,
+              alarm_seen ? "raised" : "none", format_time(world.now()).c_str());
+  return alarm_seen ? 0 : 1;
+}

@@ -1,0 +1,189 @@
+#include "core/console.hpp"
+
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace snipe::core {
+
+void Console::interpret(const std::string& line, std::function<void(std::string)> reply) {
+  std::istringstream parts(trim(line));
+  std::string verb, arg;
+  parts >> verb >> arg;
+
+  if (verb == "ps" && !arg.empty()) {
+    processes_on_host(arg, [reply = std::move(reply), arg](
+                               Result<std::vector<std::string>> r) {
+      if (!r) {
+        reply("ps: " + r.error().to_string());
+        return;
+      }
+      if (r.value().empty()) {
+        reply("ps: no tasks recorded for " + arg);
+        return;
+      }
+      reply(join(r.value(), "\n"));
+    });
+    return;
+  }
+  if (verb == "state" && !arg.empty()) {
+    process_state(arg, [reply = std::move(reply), arg](Result<std::string> r) {
+      reply(arg + ": " + (r.ok() ? r.value() : r.error().to_string()));
+    });
+    return;
+  }
+  if ((verb == "meta" || verb == "routers") && !arg.empty()) {
+    bool routers_only = verb == "routers";
+    query(arg, [reply = std::move(reply), routers_only](
+                   Result<std::vector<rcds::Assertion>> r) {
+      if (!r) {
+        reply(r.error().to_string());
+        return;
+      }
+      std::string out;
+      for (const auto& a : r.value()) {
+        if (routers_only && a.name != rcds::names::kGroupRouter) continue;
+        out += a.name + " = " + a.value + "\n";
+      }
+      reply(out.empty() ? "(no matching metadata)" : out);
+    });
+    return;
+  }
+  if (verb == "where" && !arg.empty()) {
+    process_.rc().lookup(arg, rcds::names::kProcHost,
+                         [reply = std::move(reply), arg](Result<std::vector<std::string>> r) {
+                           if (!r || r.value().empty())
+                             reply("where: unknown process " + arg);
+                           else
+                             reply(arg + " is on " + r.value().front());
+                         });
+    return;
+  }
+  reply("usage: ps <host-url> | state <urn> | meta <uri> | where <urn> | routers <group>");
+}
+
+Bytes HttpRequest::encode() const {
+  ByteWriter w;
+  w.str(method);
+  w.str(path);
+  w.blob(body);
+  return std::move(w).take();
+}
+
+Result<HttpRequest> HttpRequest::decode(const Bytes& data) {
+  ByteReader r(data);
+  HttpRequest req;
+  auto method = r.str();
+  if (!method) return method.error();
+  req.method = method.value();
+  auto path = r.str();
+  if (!path) return path.error();
+  req.path = path.value();
+  auto body = r.blob();
+  if (!body) return body.error();
+  req.body = std::move(body).take();
+  return req;
+}
+
+Bytes HttpResponse::encode() const {
+  ByteWriter w;
+  w.i32(status);
+  w.blob(body);
+  return std::move(w).take();
+}
+
+Result<HttpResponse> HttpResponse::decode(const Bytes& data) {
+  ByteReader r(data);
+  HttpResponse res;
+  auto status = r.i32();
+  if (!status) return status.error();
+  res.status = status.value();
+  auto body = r.blob();
+  if (!body) return body.error();
+  res.body = std::move(body).take();
+  return res;
+}
+
+HttpServer::HttpServer(SnipeProcess& process, std::string service_uri, Handler handler)
+    : process_(process), service_uri_(std::move(service_uri)), handler_(std::move(handler)) {
+  // "register a binding between a URN or URL and its current location":
+  // the service URI points at the process URN; the URN's address metadata
+  // is maintained by SnipeProcess (including across migration).
+  process_.rc().set(service_uri_, rcds::names::kServiceLocation, process_.urn(),
+                    [](Result<void>) {});
+  process_.rpc().serve(tags::kHttpRequest,
+                       [this](const simnet::Address&, const Bytes& body) -> Result<Bytes> {
+                         auto request = HttpRequest::decode(body);
+                         if (!request) return request.error();
+                         ++served_;
+                         return handler_(request.value()).encode();
+                       });
+}
+
+void HttpGateway::request(const std::string& service_uri, HttpRequest request,
+                          std::function<void(Result<HttpResponse>)> done) {
+  process_.rc().lookup(
+      service_uri, rcds::names::kServiceLocation,
+      [this, wire = request.encode(), done = std::move(done)](
+          Result<std::vector<std::string>> r) mutable {
+        if (!r) {
+          done(r.error());
+          return;
+        }
+        if (r.value().empty()) {
+          done(Error{Errc::not_found, "service not registered"});
+          return;
+        }
+        // §5.7: a service may list several locations; try them in order.
+        try_location(std::move(r).take(), 0, std::move(wire), std::move(done));
+      });
+}
+
+void HttpGateway::try_location(std::vector<std::string> locations, std::size_t index,
+                               Bytes wire, std::function<void(Result<HttpResponse>)> done) {
+  if (index >= locations.size()) {
+    done(Error{Errc::unreachable, "all service locations failed"});
+    return;
+  }
+  std::string urn = locations[index];
+  forward(urn, wire,
+          2, [this, locations = std::move(locations), index, wire,
+              done = std::move(done)](Result<HttpResponse> r) mutable {
+            if (r.ok() || index + 1 >= locations.size()) {
+              done(std::move(r));
+              return;
+            }
+            try_location(std::move(locations), index + 1, std::move(wire), std::move(done));
+          });
+}
+
+void HttpGateway::forward(const std::string& urn, const Bytes& wire, int attempts_left,
+                          std::function<void(Result<HttpResponse>)> done) {
+  process_.resolve(urn, [this, urn, wire, attempts_left,
+                         done = std::move(done)](Result<simnet::Address> addr) mutable {
+    if (!addr) {
+      done(addr.error());
+      return;
+    }
+    process_.rpc().call(
+        addr.value(), tags::kHttpRequest, wire,
+        [this, urn, wire, attempts_left, done = std::move(done)](Result<Bytes> r) mutable {
+          if (r.ok()) {
+            done(HttpResponse::decode(r.value()));
+            return;
+          }
+          if (attempts_left > 1) {
+            // The server may have migrated: drop the cached address and
+            // re-resolve through RC (§3.7: the browser finds it "even
+            // though it may migrate from one host to another").
+            process_.invalidate_resolution(urn);
+            forward(urn, wire, attempts_left - 1, std::move(done));
+            return;
+          }
+          done(r.error());
+        },
+        duration::seconds(2));
+  });
+}
+
+}  // namespace snipe::core

@@ -1,0 +1,140 @@
+// Consoles and the HTTP gateway (§3.7).
+//
+// "A SNIPE console is any SNIPE process which communicates with humans."
+// There is deliberately no global process list — "there is no SNIPE
+// virtual machine apart from the entire Internet" — so a console works by
+// querying metadata: the processes a host's daemon started, any process's
+// state, and group membership are all RC records.
+//
+// "A SNIPE process can also function as an HTTP server ... A SNIPE-based
+// HTTP server can register a binding between a URN or URL and its current
+// location, allowing a web browser to find it even though it may migrate."
+// HttpServer + HttpGateway reproduce that: the gateway (the paper's "proxy
+// server ... which allows any web browser to resolve the URI of any
+// RCDS-registered resource") resolves the service URI through RC on every
+// miss, so requests follow the server across migrations.
+#pragma once
+
+#include "core/process.hpp"
+
+namespace snipe::core {
+
+/// A human-facing SNIPE process: metadata queries + commands.
+///
+/// `interpret` implements the character-based interface: a PVM-console-like
+/// command line evaluated against the live registry.  Because "there is no
+/// way to list all SNIPE processes" (§3.7), every command starts from a
+/// name the operator already has — a URI, URN or host.
+///
+///   ps <host-url>          processes the daemon on that host started
+///   state <urn>            a process's current state
+///   meta <uri>             full metadata record, one assertion per line
+///   where <urn>            the host a process currently runs on
+///   routers <group-urn>    a multicast group's router set
+class Console {
+ public:
+  explicit Console(SnipeProcess& process) : process_(process) {}
+
+  /// Evaluates one command line; the reply is human-readable text.
+  void interpret(const std::string& line, std::function<void(std::string)> reply);
+
+  /// Full metadata of any URI (host, process, group, LIFN...).
+  void query(const std::string& uri,
+             std::function<void(Result<std::vector<rcds::Assertion>>)> done) {
+    process_.rc().get(uri, std::move(done));
+  }
+
+  /// URNs of the processes the daemon on `host_url` has started (§3.7).
+  void processes_on_host(const std::string& host_url,
+                         std::function<void(Result<std::vector<std::string>>)> done) {
+    process_.rc().lookup(host_url, rcds::names::kHostTask, std::move(done));
+  }
+
+  /// Current state of a process, from its RC metadata.
+  void process_state(const std::string& urn,
+                     std::function<void(Result<std::string>)> done) {
+    process_.rc().lookup(urn, rcds::names::kProcState,
+                         [done = std::move(done)](Result<std::vector<std::string>> r) {
+                           if (!r) {
+                             done(r.error());
+                             return;
+                           }
+                           if (r.value().empty()) {
+                             done(Result<std::string>(Errc::not_found, "no recorded state"));
+                             return;
+                           }
+                           done(r.value().front());
+                         });
+  }
+
+  /// Sends a command message to any process by URN.
+  void command(const std::string& urn, std::uint32_t tag, Bytes body,
+               SnipeProcess::DoneHandler done = nullptr) {
+    process_.send(urn, tag, std::move(body), std::move(done));
+  }
+
+ private:
+  SnipeProcess& process_;
+};
+
+struct HttpRequest {
+  std::string method = "GET";
+  std::string path = "/";
+  Bytes body;
+
+  Bytes encode() const;
+  static Result<HttpRequest> decode(const Bytes& data);
+};
+
+struct HttpResponse {
+  int status = 200;
+  Bytes body;
+
+  Bytes encode() const;
+  static Result<HttpResponse> decode(const Bytes& data);
+};
+
+/// Turns a SnipeProcess into an HTTP server bound to a service URI.
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  /// Registers `service_uri -> this process` in RC and serves requests.
+  HttpServer(SnipeProcess& process, std::string service_uri, Handler handler);
+
+  /// Re-registration after the underlying process migrates (the address
+  /// binding in the process URN is already maintained by SnipeProcess;
+  /// the service binding points at the URN so nothing else moves).
+  const std::string& service_uri() const { return service_uri_; }
+  std::uint64_t requests_served() const { return served_; }
+
+ private:
+  SnipeProcess& process_;
+  std::string service_uri_;
+  Handler handler_;
+  std::uint64_t served_ = 0;
+};
+
+/// The proxy a "web browser" talks to: resolves RCDS-registered service
+/// URIs and forwards HTTP requests to wherever the server currently runs.
+class HttpGateway {
+ public:
+  explicit HttpGateway(SnipeProcess& process) : process_(process) {}
+
+  void request(const std::string& service_uri, HttpRequest request,
+               std::function<void(Result<HttpResponse>)> done);
+
+ private:
+  /// Tries the service's registered locations in order (§5.7: "Any process
+  /// attempting to communicate with that service will then see multiple
+  /// service locations from which to choose"); within each location,
+  /// re-resolves on failure to follow migrations.
+  void try_location(std::vector<std::string> locations, std::size_t index, Bytes wire,
+                    std::function<void(Result<HttpResponse>)> done);
+  void forward(const std::string& urn, const Bytes& wire, int attempts_left,
+               std::function<void(Result<HttpResponse>)> done);
+
+  SnipeProcess& process_;
+};
+
+}  // namespace snipe::core

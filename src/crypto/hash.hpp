@@ -1,0 +1,77 @@
+// Cryptographic hash functions, implemented from scratch.
+//
+// The paper authenticates resources "by the use of cryptographic hash
+// functions (such as MD5 or SHA)" (§2.1) and the 1998 RC servers used
+// "MD5 hashed shared secrets" (§6).  We provide both MD5 (RFC 1321) and
+// SHA-256 (FIPS 180-4); new code should use SHA-256, MD5 exists for
+// fidelity to the paper's RC-server authenticator.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace snipe::crypto {
+
+using Digest128 = std::array<std::uint8_t, 16>;
+using Digest256 = std::array<std::uint8_t, 32>;
+
+/// Incremental MD5 (RFC 1321).
+class Md5 {
+ public:
+  Md5();
+  void update(const std::uint8_t* data, std::size_t len);
+  void update(const Bytes& data) { update(data.data(), data.size()); }
+  void update(const std::string& data) {
+    update(reinterpret_cast<const std::uint8_t*>(data.data()), data.size());
+  }
+  /// Finishes the hash; the object must not be updated afterwards.
+  Digest128 finish();
+
+ private:
+  void process_block(const std::uint8_t* block);
+  std::uint32_t state_[4];
+  std::uint64_t total_ = 0;
+  std::uint8_t buffer_[64];
+  std::size_t buffered_ = 0;
+};
+
+/// Incremental SHA-256 (FIPS 180-4).
+class Sha256 {
+ public:
+  Sha256();
+  void update(const std::uint8_t* data, std::size_t len);
+  void update(const Bytes& data) { update(data.data(), data.size()); }
+  void update(const std::string& data) {
+    update(reinterpret_cast<const std::uint8_t*>(data.data()), data.size());
+  }
+  /// Finishes the hash; the object must not be updated afterwards.
+  Digest256 finish();
+
+ private:
+  void process_block(const std::uint8_t* block);
+  std::uint32_t state_[8];
+  std::uint64_t total_ = 0;
+  std::uint8_t buffer_[64];
+  std::size_t buffered_ = 0;
+};
+
+/// One-shot helpers.
+Digest128 md5(const Bytes& data);
+Digest128 md5(const std::string& data);
+Digest256 sha256(const Bytes& data);
+Digest256 sha256(const std::string& data);
+
+/// Lowercase hex of a digest.
+template <std::size_t N>
+std::string digest_hex(const std::array<std::uint8_t, N>& d) {
+  return hex_encode(d.data(), d.size());
+}
+
+/// HMAC-SHA256 (RFC 2104); used for authenticated RM<->resource channels
+/// (§4's "authenticated connection ... without signatures" optimization).
+Digest256 hmac_sha256(const Bytes& key, const Bytes& message);
+
+}  // namespace snipe::crypto

@@ -1,0 +1,173 @@
+#include "crypto/identity.hpp"
+
+namespace snipe::crypto {
+
+const char* trust_purpose_name(TrustPurpose p) {
+  switch (p) {
+    case TrustPurpose::identify_host: return "identify_host";
+    case TrustPurpose::identify_user: return "identify_user";
+    case TrustPurpose::grant_resources: return "grant_resources";
+    case TrustPurpose::sign_mobile_code: return "sign_mobile_code";
+  }
+  return "unknown";
+}
+
+Principal Principal::create(const std::string& uri, Rng& rng, std::size_t bits) {
+  return Principal{uri, generate_keypair(rng, bits)};
+}
+
+Bytes Certificate::canonical_bytes() const {
+  ByteWriter w;
+  w.str(subject);
+  w.blob(subject_key.encode());
+  w.u32(static_cast<std::uint32_t>(purposes.size()));
+  for (auto p : purposes) w.u8(static_cast<std::uint8_t>(p));
+  w.str(issuer);
+  return std::move(w).take();
+}
+
+Certificate Certificate::issue(const Principal& issuer, const std::string& subject,
+                               const PublicKey& subject_key,
+                               std::vector<TrustPurpose> purposes) {
+  Certificate cert;
+  cert.subject = subject;
+  cert.subject_key = subject_key;
+  cert.purposes = std::move(purposes);
+  cert.issuer = issuer.uri;
+  cert.signature = sign(issuer.keys.priv, cert.canonical_bytes());
+  return cert;
+}
+
+bool Certificate::verify_with(const PublicKey& issuer_key) const {
+  return verify(issuer_key, canonical_bytes(), signature);
+}
+
+bool Certificate::covers(TrustPurpose p) const {
+  for (auto purpose : purposes)
+    if (purpose == p) return true;
+  return false;
+}
+
+Bytes Certificate::encode() const {
+  ByteWriter w;
+  w.blob(canonical_bytes());
+  w.blob(signature);
+  return std::move(w).take();
+}
+
+Result<Certificate> Certificate::decode(const Bytes& data) {
+  ByteReader outer(data);
+  auto canonical = outer.blob();
+  if (!canonical) return canonical.error();
+  auto signature = outer.blob();
+  if (!signature) return signature.error();
+
+  ByteReader r(canonical.value());
+  Certificate cert;
+  auto subject = r.str();
+  if (!subject) return subject.error();
+  cert.subject = subject.value();
+  auto key_bytes = r.blob();
+  if (!key_bytes) return key_bytes.error();
+  auto key = PublicKey::decode(key_bytes.value());
+  if (!key) return key.error();
+  cert.subject_key = key.value();
+  auto count = r.u32();
+  if (!count) return count.error();
+  if (count.value() > 16) return Error{Errc::corrupt, "too many purposes"};
+  for (std::uint32_t i = 0; i < count.value(); ++i) {
+    auto p = r.u8();
+    if (!p) return p.error();
+    cert.purposes.push_back(static_cast<TrustPurpose>(p.value()));
+  }
+  auto issuer = r.str();
+  if (!issuer) return issuer.error();
+  cert.issuer = issuer.value();
+  cert.signature = signature.value();
+  return cert;
+}
+
+SignedStatement SignedStatement::make(const Principal& signer, Bytes payload) {
+  SignedStatement stmt;
+  stmt.payload = std::move(payload);
+  stmt.signer = signer.uri;
+  stmt.signature = sign(signer.keys.priv, stmt.payload);
+  return stmt;
+}
+
+bool SignedStatement::verify_with(const PublicKey& signer_key) const {
+  return verify(signer_key, payload, signature);
+}
+
+Bytes SignedStatement::encode() const {
+  ByteWriter w;
+  w.blob(payload);
+  w.str(signer);
+  w.blob(signature);
+  return std::move(w).take();
+}
+
+Result<SignedStatement> SignedStatement::decode(const Bytes& data) {
+  ByteReader r(data);
+  SignedStatement stmt;
+  auto payload = r.blob();
+  if (!payload) return payload.error();
+  stmt.payload = payload.value();
+  auto signer = r.str();
+  if (!signer) return signer.error();
+  stmt.signer = signer.value();
+  auto signature = r.blob();
+  if (!signature) return signature.error();
+  stmt.signature = signature.value();
+  return stmt;
+}
+
+Result<void> TrustStore::validate_direct(const SignedStatement& stmt,
+                                         TrustPurpose purpose) const {
+  auto it = issuers_.find(stmt.signer);
+  if (it == issuers_.end() || it->second.purposes.count(purpose) == 0)
+    return Error{Errc::permission_denied,
+                 "signer " + stmt.signer + " not trusted for " + trust_purpose_name(purpose)};
+  if (!stmt.verify_with(it->second.key))
+    return Error{Errc::corrupt, "bad signature on statement from " + stmt.signer};
+  return ok_result();
+}
+
+void TrustStore::trust(const std::string& issuer_uri, const PublicKey& issuer_key,
+                       TrustPurpose purpose) {
+  auto& entry = issuers_[issuer_uri];
+  entry.key = issuer_key;
+  entry.purposes.insert(purpose);
+}
+
+bool TrustStore::is_trusted(const std::string& issuer_uri, TrustPurpose purpose) const {
+  auto it = issuers_.find(issuer_uri);
+  return it != issuers_.end() && it->second.purposes.count(purpose) > 0;
+}
+
+Result<void> TrustStore::validate(const Certificate& cert, TrustPurpose purpose) const {
+  if (!cert.covers(purpose))
+    return Error{Errc::permission_denied,
+                 "certificate for " + cert.subject + " does not cover " +
+                     trust_purpose_name(purpose)};
+  auto it = issuers_.find(cert.issuer);
+  if (it == issuers_.end() || it->second.purposes.count(purpose) == 0)
+    return Error{Errc::permission_denied,
+                 "issuer " + cert.issuer + " not trusted for " + trust_purpose_name(purpose)};
+  if (!cert.verify_with(it->second.key))
+    return Error{Errc::corrupt, "bad signature on certificate for " + cert.subject};
+  return ok_result();
+}
+
+Result<void> TrustStore::validate_statement(const SignedStatement& stmt,
+                                            const Certificate& signer_cert,
+                                            TrustPurpose identity_purpose) const {
+  if (signer_cert.subject != stmt.signer)
+    return Error{Errc::permission_denied, "certificate subject does not match signer"};
+  if (auto cert_ok = validate(signer_cert, identity_purpose); !cert_ok) return cert_ok;
+  if (!stmt.verify_with(signer_cert.subject_key))
+    return Error{Errc::corrupt, "bad signature on statement from " + stmt.signer};
+  return ok_result();
+}
+
+}  // namespace snipe::crypto

@@ -1,0 +1,63 @@
+#include "crypto/session.hpp"
+
+namespace snipe::crypto {
+
+namespace {
+constexpr std::size_t kSessionKeyBytes = 32;
+}
+
+Result<std::pair<Session, Bytes>> Session::initiate(const PublicKey& responder, Rng& rng) {
+  Bytes key(kSessionKeyBytes);
+  for (auto& b : key) b = static_cast<std::uint8_t>(rng.next_u64());
+  auto hello = encrypt(responder, key, rng);
+  if (!hello) return hello.error();
+  return std::make_pair(Session(std::move(key), /*initiator=*/true),
+                        std::move(hello).take());
+}
+
+Result<Session> Session::accept(const PrivateKey& own_key, const Bytes& hello) {
+  auto key = decrypt(own_key, hello);
+  if (!key) return key.error();
+  if (key.value().size() != kSessionKeyBytes)
+    return Error{Errc::corrupt, "unexpected session key size"};
+  return Session(std::move(key).take(), /*initiator=*/false);
+}
+
+Digest256 Session::mac(bool from_initiator, std::uint64_t seq, const Bytes& payload) const {
+  ByteWriter w;
+  w.u8(from_initiator ? 1 : 0);
+  w.u64(seq);
+  w.blob(payload);
+  return hmac_sha256(key_, w.bytes());
+}
+
+Bytes Session::seal(const Bytes& payload) {
+  std::uint64_t seq = ++send_seq_;
+  auto digest = mac(initiator_, seq, payload);
+  ByteWriter w;
+  w.u64(seq);
+  w.blob(payload);
+  w.raw(digest.data(), digest.size());
+  return std::move(w).take();
+}
+
+Result<Bytes> Session::open(const Bytes& sealed) {
+  ByteReader r(sealed);
+  auto seq = r.u64();
+  if (!seq) return seq.error();
+  auto payload = r.blob();
+  if (!payload) return payload.error();
+  auto received_mac = r.raw(32);
+  if (!received_mac) return received_mac.error();
+
+  // MAC first: an attacker must not learn whether the sequence was right.
+  auto expected = mac(!initiator_, seq.value(), payload.value());
+  if (!std::equal(expected.begin(), expected.end(), received_mac.value().begin()))
+    return Error{Errc::corrupt, "session MAC mismatch"};
+  if (seq.value() <= recv_seq_)
+    return Error{Errc::permission_denied, "session replay or rollback detected"};
+  recv_seq_ = seq.value();
+  return std::move(payload).take();
+}
+
+}  // namespace snipe::crypto

@@ -1,0 +1,408 @@
+#include "files/fileserver.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/uri.hpp"
+
+namespace snipe::files {
+
+namespace {
+std::string content_hash(const Bytes& content) {
+  return crypto::digest_hex(crypto::sha256(content));
+}
+}  // namespace
+
+SimDuration net_distance(simnet::World& world, const std::string& a, const std::string& b) {
+  if (a == b) return 0;
+  simnet::Host* ha = world.host(a);
+  simnet::Host* hb = world.host(b);
+  if (ha == nullptr || hb == nullptr) return std::numeric_limits<SimDuration>::max();
+  SimDuration best = std::numeric_limits<SimDuration>::max();
+  for (const auto& nic : ha->nics()) {
+    if (!nic->up() || !nic->network()->up()) continue;
+    auto* theirs = hb->nic_on(nic->network()->name());
+    if (theirs == nullptr || !theirs->up()) continue;
+    best = std::min(best, nic->network()->model().latency);
+  }
+  return best;
+}
+
+FileServer::FileServer(simnet::Host& host, std::vector<simnet::Address> rc_replicas,
+                       std::uint16_t port, FileServerConfig config)
+    : rpc_(host, port, {}),
+      engine_(host.world()->engine()),
+      config_(config),
+      rc_(rpc_, std::move(rc_replicas)),
+      log_("files@" + host.name() + ":" + std::to_string(rpc_.address().port)) {
+  rpc_.serve(tags::kStore, [this](const simnet::Address&, const Bytes& body) -> Result<Bytes> {
+    ByteReader r(body);
+    auto lifn = r.str();
+    if (!lifn) return lifn.error();
+    auto content = r.blob();
+    if (!content) return content.error();
+    store_local(lifn.value(), std::move(content).take());
+    return Bytes{};
+  });
+
+  rpc_.serve(tags::kFetch, [this](const simnet::Address&, const Bytes& body) -> Result<Bytes> {
+    ByteReader r(body);
+    auto lifn = r.str();
+    if (!lifn) return lifn.error();
+    auto it = store_.find(lifn.value());
+    if (it == store_.end()) return Result<Bytes>(Errc::not_found, lifn.value());
+    ++stats_.fetches;
+    ByteWriter w;
+    w.blob(it->second);
+    return std::move(w).take();
+  });
+
+  rpc_.serve(tags::kOpenSink,
+             [this](const simnet::Address&, const Bytes& body) -> Result<Bytes> {
+               ByteReader r(body);
+               auto lifn = r.str();
+               if (!lifn) return lifn.error();
+               std::uint64_t id = next_sink_id_++;
+               sinks_[id] = Sink{lifn.value(), {}};
+               ++stats_.sink_sessions;
+               ByteWriter w;
+               w.u64(id);
+               return std::move(w).take();
+             });
+
+  rpc_.on_notify(tags::kSinkData, [this](const simnet::Address&, const Bytes& body) {
+    ByteReader r(body);
+    auto id = r.u64();
+    auto chunk = r.blob();
+    if (!id || !chunk) return;
+    auto it = sinks_.find(id.value());
+    if (it == sinks_.end()) return;
+    it->second.data.insert(it->second.data.end(), chunk.value().begin(), chunk.value().end());
+  });
+
+  rpc_.serve(tags::kCloseSink,
+             [this](const simnet::Address&, const Bytes& body) -> Result<Bytes> {
+               ByteReader r(body);
+               auto id = r.u64();
+               if (!id) return id.error();
+               auto it = sinks_.find(id.value());
+               if (it == sinks_.end())
+                 return Result<Bytes>(Errc::not_found, "no such sink");
+               store_local(it->second.lifn, std::move(it->second.data));
+               sinks_.erase(it);
+               return Bytes{};
+             });
+
+  rpc_.serve(tags::kOpenSource,
+             [this](const simnet::Address&, const Bytes& body) -> Result<Bytes> {
+               ByteReader r(body);
+               auto lifn = r.str();
+               auto dst_host = r.str();
+               auto dst_port = r.u16();
+               auto read_id = r.u64();
+               if (!lifn || !dst_host || !dst_port || !read_id)
+                 return Error{Errc::corrupt, "bad open-source request"};
+               auto it = store_.find(lifn.value());
+               if (it == store_.end()) return Result<Bytes>(Errc::not_found, lifn.value());
+               ++stats_.source_sessions;
+               // Stream the file as a sequence of one-way SNIPE messages.
+               const Bytes& content = it->second;
+               simnet::Address dst{dst_host.value(), dst_port.value()};
+               std::size_t total = content.size();
+               std::size_t offset = 0;
+               do {
+                 std::size_t n = std::min(config_.chunk, total - offset);
+                 ByteWriter w;
+                 w.u64(read_id.value());
+                 w.u64(total);
+                 w.blob(Bytes(content.begin() + offset, content.begin() + offset + n));
+                 rpc_.notify(dst, tags::kSourceData, std::move(w).take());
+                 offset += n;
+               } while (offset < total);
+               ByteWriter w;
+               w.u64(total);
+               return std::move(w).take();
+             });
+
+  rpc_.serve(tags::kReplicate,
+             [this](const simnet::Address&, const Bytes& body) -> Result<Bytes> {
+               ByteReader r(body);
+               auto lifn = r.str();
+               if (!lifn) return lifn.error();
+               auto content = r.blob();
+               if (!content) return content.error();
+               ++stats_.replicas_received;
+               if (!store_.count(lifn.value())) store_[lifn.value()] = content.value();
+               // (Re-)announce unconditionally: a repair push may follow a
+               // crash that retracted our registration while the bytes
+               // survived on disk.
+               announce(lifn.value(), store_[lifn.value()]);
+               return Bytes{};
+             });
+
+  if (config_.repair_period > 0)
+    engine_.schedule_weak(config_.repair_period, [this] { repair_tick(); });
+
+  rpc_.serve(tags::kDelete, [this](const simnet::Address&, const Bytes& body) -> Result<Bytes> {
+    ByteReader r(body);
+    auto lifn = r.str();
+    if (!lifn) return lifn.error();
+    if (store_.erase(lifn.value()) == 0)
+      return Result<Bytes>(Errc::not_found, lifn.value());
+    rc_.remove(lifn.value(), rcds::names::kLifnLocation, location_url(), [](Result<void>) {});
+    return Bytes{};
+  });
+}
+
+std::string FileServer::location_url() const {
+  return "snipe://" + address().host + ":" + std::to_string(address().port) + "/files";
+}
+
+Result<Bytes> FileServer::read(const std::string& lifn) const {
+  auto it = store_.find(lifn);
+  if (it == store_.end()) return Result<Bytes>(Errc::not_found, lifn);
+  return it->second;
+}
+
+void FileServer::store_local(const std::string& lifn, Bytes content, bool announce_it) {
+  ++stats_.stores;
+  stats_.bytes_stored += content.size();
+  store_[lifn] = std::move(content);
+  if (announce_it) {
+    announce(lifn, store_[lifn]);
+    replicate(lifn);
+  }
+}
+
+void FileServer::announce(const std::string& lifn, const Bytes& content) {
+  rc_.apply(lifn,
+            {rcds::op_add(rcds::names::kLifnLocation, location_url()),
+             rcds::op_set(rcds::names::kLifnHash, content_hash(content))},
+            [this, lifn](Result<std::vector<rcds::Assertion>> r) {
+              if (!r) log_.warn("failed to announce ", lifn, ": ", r.error().to_string());
+            });
+}
+
+void FileServer::repair_tick() {
+  engine_.schedule_weak(config_.repair_period, [this] { repair_tick(); });
+  if (!rpc_.host().up()) return;
+  if (config_.replication_factor <= 1 || peers_.empty()) return;
+  for (const auto& [lifn, content] : store_) repair_file(lifn);
+}
+
+void FileServer::repair_file(const std::string& lifn) {
+  // Count *live* registered replicas; push fresh copies if below target.
+  // Liveness here reads simulator state directly — a stand-in for the
+  // health probe a production replication daemon would send; the protocol
+  // consequences (retraction + re-push) are what matter.
+  rc_.lookup(lifn, rcds::names::kLifnLocation,
+             [this, lifn](Result<std::vector<std::string>> r) {
+               if (!r) return;
+               int live = 0;
+               simnet::World* world = rpc_.host().world();
+               for (const auto& url : r.value()) {
+                 auto uri = snipe::parse_uri(url);
+                 if (!uri) continue;
+                 simnet::Host* h = world->host(uri.value().host);
+                 if (h != nullptr && h->up()) {
+                   ++live;
+                 } else {
+                   // Retract the dead replica's registration so readers
+                   // stop trying it ("deleting replicas ... according to
+                   // local policy", §3.2).
+                   rc_.remove(lifn, rcds::names::kLifnLocation, url, [](Result<void>) {});
+                 }
+               }
+               if (live >= config_.replication_factor) return;
+               auto it = store_.find(lifn);
+               if (it == store_.end()) return;
+               log_.debug("repairing ", lifn, ": ", live, "/",
+                          config_.replication_factor, " live replicas");
+               ByteWriter w;
+               w.str(lifn);
+               w.blob(it->second);
+               Bytes body = std::move(w).take();
+               int needed = config_.replication_factor - live;
+               for (const auto& peer : peers_) {
+                 if (needed <= 0) break;
+                 simnet::Host* peer_host = world->host(peer.host);
+                 if (peer_host == nullptr || !peer_host->up()) continue;
+                 ++stats_.repairs;
+                 --needed;
+                 rpc_.call(peer, tags::kReplicate, body, [](Result<Bytes>) {});
+               }
+             });
+}
+
+void FileServer::replicate(const std::string& lifn) {
+  int copies_needed = config_.replication_factor - 1;
+  if (copies_needed <= 0 || peers_.empty()) return;
+  auto it = store_.find(lifn);
+  if (it == store_.end()) return;
+  ByteWriter w;
+  w.str(lifn);
+  w.blob(it->second);
+  Bytes body = std::move(w).take();
+  for (int i = 0; i < copies_needed && i < static_cast<int>(peers_.size()); ++i) {
+    ++stats_.replicas_pushed;
+    rpc_.call(peers_[i], tags::kReplicate, body, [this, lifn](Result<Bytes> r) {
+      if (!r) log_.warn("replication of ", lifn, " failed: ", r.error().to_string());
+    });
+  }
+}
+
+// ---------- FileClient ----------
+
+FileClient::FileClient(transport::RpcEndpoint& rpc, std::vector<simnet::Address> rc_replicas,
+                       std::size_t chunk)
+    : rpc_(rpc),
+      rc_(rpc, std::move(rc_replicas)),
+      chunk_(chunk),
+      log_("fileclient@" + rpc.host().name()) {
+  rpc_.on_notify(files::tags::kSourceData, [this](const simnet::Address&, const Bytes& body) {
+    ByteReader r(body);
+    auto id = r.u64();
+    auto total = r.u64();
+    auto chunk = r.blob();
+    if (!id || !total || !chunk) return;
+    auto it = reads_.find(id.value());
+    if (it == reads_.end()) return;
+    PendingRead& read = it->second;
+    read.total = total.value();
+    read.data.insert(read.data.end(), chunk.value().begin(), chunk.value().end());
+    if (read.data.size() >= read.total) {
+      auto done = std::move(read.done);
+      Bytes data = std::move(read.data);
+      std::string expect = read.expect_hash;
+      reads_.erase(it);
+      if (!expect.empty() && content_hash(data) != expect) {
+        done(Error{Errc::corrupt, "content hash mismatch"});
+        return;
+      }
+      done(std::move(data));
+    }
+  });
+}
+
+void FileClient::write(const simnet::Address& server, const std::string& lifn, Bytes content,
+                       DoneHandler done) {
+  ByteWriter open;
+  open.str(lifn);
+  rpc_.call(server, tags::kOpenSink, std::move(open).take(),
+            [this, server, content = std::move(content),
+             done = std::move(done)](Result<Bytes> r) mutable {
+              if (!r) {
+                done(r.error());
+                return;
+              }
+              ByteReader rr(r.value());
+              auto id = rr.u64();
+              if (!id) {
+                done(id.error());
+                return;
+              }
+              // Stream the content as SNIPE messages to the sink (§5.9).
+              std::size_t offset = 0;
+              do {
+                std::size_t n = std::min(chunk_, content.size() - offset);
+                ByteWriter w;
+                w.u64(id.value());
+                w.blob(Bytes(content.begin() + offset, content.begin() + offset + n));
+                rpc_.notify(server, tags::kSinkData, std::move(w).take());
+                offset += n;
+              } while (offset < content.size());
+              ByteWriter close;
+              close.u64(id.value());
+              rpc_.call(server, tags::kCloseSink, std::move(close).take(),
+                        [done = std::move(done)](Result<Bytes> r2) {
+                          if (!r2)
+                            done(r2.error());
+                          else
+                            done(ok_result());
+                        });
+            });
+}
+
+std::vector<simnet::Address> FileClient::rank_by_distance(
+    std::vector<simnet::Address> servers) const {
+  simnet::World* world = rpc_.host().world();
+  const std::string& me = rpc_.host().name();
+  std::stable_sort(servers.begin(), servers.end(),
+                   [&](const simnet::Address& a, const simnet::Address& b) {
+                     return net_distance(*world, me, a.host) < net_distance(*world, me, b.host);
+                   });
+  return servers;
+}
+
+void FileClient::read(const std::string& lifn, ReadHandler done) {
+  rc_.get(lifn, [this, lifn, done = std::move(done)](
+                    Result<std::vector<rcds::Assertion>> r) mutable {
+    if (!r) {
+      done(r.error());
+      return;
+    }
+    std::vector<simnet::Address> locations;
+    std::string hash;
+    for (const auto& a : r.value()) {
+      if (a.name == rcds::names::kLifnLocation) {
+        if (auto uri = snipe::parse_uri(a.value); uri.ok())
+          locations.push_back(simnet::Address{
+              uri.value().host, static_cast<std::uint16_t>(uri.value().port)});
+      } else if (a.name == rcds::names::kLifnHash) {
+        hash = a.value;
+      }
+    }
+    if (locations.empty()) {
+      done(Error{Errc::not_found, "no replicas registered for " + lifn});
+      return;
+    }
+    PendingRead read;
+    read.lifn = lifn;
+    read.expect_hash = hash;
+    read.done = std::move(done);
+    try_read_location(rank_by_distance(std::move(locations)), 0, std::move(read));
+  });
+}
+
+void FileClient::try_read_location(std::vector<simnet::Address> candidates, std::size_t index,
+                                   PendingRead read) {
+  if (index >= candidates.size()) {
+    read.done(Error{Errc::unreachable, "all replicas of " + read.lifn + " unreachable"});
+    return;
+  }
+  std::uint64_t id = next_read_id_++;
+  ByteWriter w;
+  w.str(read.lifn);
+  w.str(rpc_.address().host);
+  w.u16(rpc_.address().port);
+  w.u64(id);
+  simnet::Address server = candidates[index];
+  std::string lifn = read.lifn;
+  reads_[id] = std::move(read);
+  rpc_.call(server, tags::kOpenSource, std::move(w).take(),
+            [this, candidates = std::move(candidates), index, id](Result<Bytes> r) mutable {
+              auto it = reads_.find(id);
+              if (it == reads_.end()) return;  // already completed
+              if (!r) {
+                // This replica failed; fall over to the next closest.
+                PendingRead read = std::move(it->second);
+                reads_.erase(it);
+                read.data.clear();
+                try_read_location(std::move(candidates), index + 1, std::move(read));
+                return;
+              }
+              // Source opened; data flows via kSourceData notifications.
+              // Zero-length files produce no data messages: finish here.
+              ByteReader rr(r.value());
+              auto total = rr.u64();
+              if (total && total.value() == 0) {
+                PendingRead read = std::move(it->second);
+                reads_.erase(it);
+                read.done(Bytes{});
+              }
+            },
+            duration::seconds(2));
+  (void)lifn;
+}
+
+}  // namespace snipe::files

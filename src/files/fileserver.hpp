@@ -1,0 +1,158 @@
+// SNIPE file servers, sinks and sources (§3.2, §5.9).
+//
+// Files are named by LIFNs and replicated across file servers; name-to-
+// location bindings live in the RC registry ("Name-to-location binding for
+// these files is maintained by metadata servers, which are informed as
+// replicas are created and deleted").  I/O follows the paper's model
+// exactly:
+//   * a *file sink* is spawned on the server; the writer sends it ordinary
+//     SNIPE messages, which the sink appends and finally stores;
+//   * a *file source* is spawned on the server; it reads the file and
+//     sends it to a SNIPE address as a message stream.
+// Replication daemons push copies to peer servers up to the configured
+// redundancy and register each new replica's location.  Reads pick the
+// *closest* replica by network distance (§6: "Duplicated file
+// reading/access is supported via location of closest resource daemons").
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "crypto/hash.hpp"
+#include "rcds/client.hpp"
+#include "transport/rpc.hpp"
+
+namespace snipe::files {
+
+namespace tags {
+inline constexpr std::uint32_t kStore = 120;       ///< direct whole-file store
+inline constexpr std::uint32_t kFetch = 121;       ///< direct whole-file fetch
+inline constexpr std::uint32_t kOpenSink = 122;    ///< spawn a file sink
+inline constexpr std::uint32_t kSinkData = 123;    ///< one-way data to a sink
+inline constexpr std::uint32_t kCloseSink = 124;   ///< finalize a sink
+inline constexpr std::uint32_t kOpenSource = 125;  ///< spawn a file source
+inline constexpr std::uint32_t kSourceData = 126;  ///< one-way data from a source
+inline constexpr std::uint32_t kReplicate = 127;   ///< server-to-server copy
+inline constexpr std::uint32_t kDelete = 128;
+}  // namespace tags
+
+struct FileServerConfig {
+  /// Total replicas (including this server) the replication daemon aims
+  /// for on each stored file.
+  int replication_factor = 1;
+  /// Chunk size for source streaming.
+  std::size_t chunk = 64 * 1024;
+  /// The replication daemon's repair period: every tick it compares each
+  /// local file's registered replica count against the redundancy target
+  /// and pushes fresh copies when replicas have been lost ("creating and
+  /// deleting replicas of files according to local policy, redundancy
+  /// requirements, and demand" — §3.2).  0 disables repair.
+  SimDuration repair_period = duration::seconds(15);
+};
+
+struct FileServerStats {
+  std::uint64_t stores = 0;
+  std::uint64_t fetches = 0;
+  std::uint64_t sink_sessions = 0;
+  std::uint64_t source_sessions = 0;
+  std::uint64_t replicas_pushed = 0;
+  std::uint64_t replicas_received = 0;
+  std::uint64_t repairs = 0;  ///< replicas re-created after loss (§3.2)
+  std::uint64_t bytes_stored = 0;
+};
+
+class FileServer {
+ public:
+  static constexpr std::uint16_t kDefaultPort = 7120;
+
+  /// `rc_replicas`: the metadata registry to announce locations in.
+  FileServer(simnet::Host& host, std::vector<simnet::Address> rc_replicas,
+             std::uint16_t port = kDefaultPort, FileServerConfig config = {});
+
+  /// Peer file servers the replication daemon may copy to.
+  void set_peers(std::vector<simnet::Address> peers) { peers_ = std::move(peers); }
+
+  simnet::Address address() const { return rpc_.address(); }
+  /// The location string registered in RC for this server's replicas.
+  std::string location_url() const;
+
+  /// Direct in-process access (tests / co-located components).
+  bool has(const std::string& lifn) const { return store_.count(lifn) > 0; }
+  Result<Bytes> read(const std::string& lifn) const;
+  void store_local(const std::string& lifn, Bytes content, bool announce = true);
+
+  std::size_t file_count() const { return store_.size(); }
+  const FileServerStats& stats() const { return stats_; }
+  transport::RpcEndpoint& rpc() { return rpc_; }
+
+ private:
+  struct Sink {
+    std::string lifn;
+    Bytes data;
+  };
+
+  void announce(const std::string& lifn, const Bytes& content);
+  void replicate(const std::string& lifn);
+  void repair_tick();
+  void repair_file(const std::string& lifn);
+
+  transport::RpcEndpoint rpc_;
+  simnet::Engine& engine_;
+  FileServerConfig config_;
+  rcds::RcClient rc_;
+  std::vector<simnet::Address> peers_;
+  std::map<std::string, Bytes> store_;
+  std::map<std::uint64_t, Sink> sinks_;
+  std::uint64_t next_sink_id_ = 1;
+  FileServerStats stats_;
+  Logger log_;
+};
+
+/// Client-side file I/O: sink-based writes, closest-replica source reads,
+/// integrity verification against the registered SHA-256.
+class FileClient {
+ public:
+  using ReadHandler = std::function<void(Result<Bytes>)>;
+  using DoneHandler = std::function<void(Result<void>)>;
+
+  FileClient(transport::RpcEndpoint& rpc, std::vector<simnet::Address> rc_replicas,
+             std::size_t chunk = 64 * 1024);
+
+  /// Writes `content` under `lifn` by spawning a sink on `server` and
+  /// streaming SNIPE messages to it (§5.9's "opening a file for writing").
+  void write(const simnet::Address& server, const std::string& lifn, Bytes content,
+             DoneHandler done);
+
+  /// Resolves the LIFN, picks the closest live replica, spawns a source
+  /// aimed back at us, reassembles, and verifies the content hash.
+  void read(const std::string& lifn, ReadHandler done);
+
+ private:
+  struct PendingRead {
+    std::string lifn;
+    std::string expect_hash;
+    Bytes data;
+    std::size_t total = 0;
+    ReadHandler done;
+  };
+
+  void try_read_location(std::vector<simnet::Address> candidates, std::size_t index,
+                         PendingRead read);
+  /// Orders candidate servers by network distance from our host.
+  std::vector<simnet::Address> rank_by_distance(std::vector<simnet::Address> servers) const;
+
+  transport::RpcEndpoint& rpc_;
+  rcds::RcClient rc_;
+  std::size_t chunk_;
+  std::map<std::uint64_t, PendingRead> reads_;
+  std::uint64_t next_read_id_ = 1;
+  Logger log_;
+};
+
+/// Network distance between two hosts in `world`: 0 for the same host, the
+/// best shared-network latency otherwise, and +inf (max SimDuration) when
+/// no network is shared.
+SimDuration net_distance(simnet::World& world, const std::string& a, const std::string& b);
+
+}  // namespace snipe::files

@@ -1,0 +1,153 @@
+#include "playground/svmasm.hpp"
+
+#include <map>
+#include <optional>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace snipe::playground {
+
+namespace {
+
+const std::map<std::string, OpCode>& mnemonics() {
+  static const std::map<std::string, OpCode> table = {
+      {"push", OpCode::push},   {"pop", OpCode::pop},       {"dup", OpCode::dup},
+      {"swap", OpCode::swap},   {"add", OpCode::add},       {"sub", OpCode::sub},
+      {"mul", OpCode::mul},     {"div", OpCode::divi},      {"mod", OpCode::mod},
+      {"neg", OpCode::neg},     {"eq", OpCode::eq},         {"ne", OpCode::ne},
+      {"lt", OpCode::lt},       {"le", OpCode::le},         {"gt", OpCode::gt},
+      {"ge", OpCode::ge},       {"and", OpCode::land},      {"or", OpCode::lor},
+      {"not", OpCode::lnot},    {"loadl", OpCode::loadl},   {"storel", OpCode::storel},
+      {"loadg", OpCode::loadg}, {"storeg", OpCode::storeg}, {"jmp", OpCode::jmp},
+      {"jz", OpCode::jz},       {"jnz", OpCode::jnz},       {"call", OpCode::call},
+      {"ret", OpCode::ret},     {"emit", OpCode::emit},     {"recv", OpCode::recv},
+      {"halt", OpCode::halt},   {"work", OpCode::work},     {"ckpt", OpCode::ckpt},
+      {"self", OpCode::self},   {"trap", OpCode::trapop},
+  };
+  return table;
+}
+
+bool needs_label_or_number(OpCode op) {
+  return op == OpCode::jmp || op == OpCode::jz || op == OpCode::jnz || op == OpCode::call;
+}
+
+bool needs_number(OpCode op) {
+  return op == OpCode::push || op == OpCode::loadl || op == OpCode::storel ||
+         op == OpCode::loadg || op == OpCode::storeg || op == OpCode::work;
+}
+
+std::optional<std::int64_t> parse_int(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  std::size_t pos = 0;
+  try {
+    std::int64_t v = std::stoll(s, &pos);
+    if (pos != s.size()) return std::nullopt;
+    return v;
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
+Result<Program> assemble(const std::string& source) {
+  struct Pending {
+    std::size_t instruction;
+    std::string label;
+    int line;
+  };
+  Program program;
+  std::map<std::string, std::int64_t> labels;
+  std::vector<Pending> pending;
+
+  std::istringstream in(source);
+  std::string raw_line;
+  int line_no = 0;
+  while (std::getline(in, raw_line)) {
+    ++line_no;
+    auto comment = raw_line.find(';');
+    if (comment != std::string::npos) raw_line = raw_line.substr(0, comment);
+    std::string line = trim(raw_line);
+    if (line.empty()) continue;
+
+    // Directives.
+    if (starts_with(line, ".globals")) {
+      auto n = parse_int(trim(line.substr(8)));
+      if (!n || *n < 0)
+        return Error{Errc::invalid_argument,
+                     "line " + std::to_string(line_no) + ": bad .globals count"};
+      program.globals = *n;
+      continue;
+    }
+
+    // Labels (may share a line with an instruction: "loop: recv").
+    while (true) {
+      auto colon = line.find(':');
+      if (colon == std::string::npos) break;
+      std::string label = trim(line.substr(0, colon));
+      if (label.empty() || label.find(' ') != std::string::npos)
+        return Error{Errc::invalid_argument,
+                     "line " + std::to_string(line_no) + ": bad label"};
+      if (labels.count(label))
+        return Error{Errc::invalid_argument,
+                     "line " + std::to_string(line_no) + ": duplicate label " + label};
+      labels[label] = static_cast<std::int64_t>(program.code.size());
+      line = trim(line.substr(colon + 1));
+    }
+    if (line.empty()) continue;
+
+    std::istringstream parts(line);
+    std::string mnemonic, arg1, arg2;
+    parts >> mnemonic >> arg1 >> arg2;
+    auto it = mnemonics().find(mnemonic);
+    if (it == mnemonics().end())
+      return Error{Errc::invalid_argument,
+                   "line " + std::to_string(line_no) + ": unknown mnemonic " + mnemonic};
+    OpCode op = it->second;
+
+    // Sugar: "call f n" == push n; call f.
+    if (op == OpCode::call && !arg2.empty()) {
+      auto n = parse_int(arg2);
+      if (!n)
+        return Error{Errc::invalid_argument,
+                     "line " + std::to_string(line_no) + ": bad call arg count"};
+      program.code.push_back({OpCode::push, *n});
+    }
+
+    Instruction ins{op, 0};
+    if (needs_number(op)) {
+      auto v = parse_int(arg1);
+      if (!v)
+        return Error{Errc::invalid_argument,
+                     "line " + std::to_string(line_no) + ": " + mnemonic +
+                         " needs a numeric operand"};
+      ins.imm = *v;
+    } else if (needs_label_or_number(op)) {
+      if (auto v = parse_int(arg1)) {
+        ins.imm = *v;
+      } else if (!arg1.empty()) {
+        pending.push_back({program.code.size(), arg1, line_no});
+      } else {
+        return Error{Errc::invalid_argument,
+                     "line " + std::to_string(line_no) + ": " + mnemonic + " needs a target"};
+      }
+    } else if (!arg1.empty()) {
+      return Error{Errc::invalid_argument,
+                   "line " + std::to_string(line_no) + ": " + mnemonic +
+                       " takes no operand"};
+    }
+    program.code.push_back(ins);
+  }
+
+  for (const auto& p : pending) {
+    auto it = labels.find(p.label);
+    if (it == labels.end())
+      return Error{Errc::invalid_argument,
+                   "line " + std::to_string(p.line) + ": undefined label " + p.label};
+    program.code[p.instruction].imm = it->second;
+  }
+  return program;
+}
+
+}  // namespace snipe::playground

@@ -1,0 +1,27 @@
+// A small assembler for SVM mobile code.
+//
+// Example programs in examples/ and the mobile-code tests are written in
+// this text form rather than as raw instruction vectors:
+//
+//     .globals 2
+//     loop:
+//       recv            ; wait for a sensor reading
+//       dup
+//       emit            ; pass it through
+//       storeg 0
+//       jmp loop
+//
+// Lines hold one instruction; `label:` defines a jump target; `;` starts a
+// comment.  `call f n` is sugar for `push n` + `call f`.
+#pragma once
+
+#include <string>
+
+#include "playground/svm.hpp"
+
+namespace snipe::playground {
+
+/// Assembles source text into a Program; errors carry the line number.
+Result<Program> assemble(const std::string& source);
+
+}  // namespace snipe::playground

@@ -1,0 +1,100 @@
+#include "rcds/assertion.hpp"
+
+#include <algorithm>
+
+namespace snipe::rcds {
+
+void Assertion::encode(ByteWriter& w) const {
+  w.str(name);
+  w.str(value);
+  w.i64(timestamp);
+  w.str(origin);
+  w.u8(tombstone ? 1 : 0);
+}
+
+Result<Assertion> Assertion::decode(ByteReader& r) {
+  Assertion a;
+  auto name = r.str();
+  if (!name) return name.error();
+  a.name = name.value();
+  auto value = r.str();
+  if (!value) return value.error();
+  a.value = value.value();
+  auto ts = r.i64();
+  if (!ts) return ts.error();
+  a.timestamp = ts.value();
+  auto origin = r.str();
+  if (!origin) return origin.error();
+  a.origin = origin.value();
+  auto tomb = r.u8();
+  if (!tomb) return tomb.error();
+  a.tombstone = tomb.value() != 0;
+  return a;
+}
+
+bool Record::merge(const Assertion& a) {
+  latest_ = std::max(latest_, a.timestamp);
+  auto key = std::make_pair(a.name, a.value);
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    map_.emplace(std::move(key), a);
+    return true;
+  }
+  if (Assertion::newer(a, it->second)) {
+    it->second = a;
+    return true;
+  }
+  return false;
+}
+
+std::vector<Assertion> Record::live() const {
+  std::vector<Assertion> out;
+  for (const auto& [key, a] : map_)
+    if (!a.tombstone) out.push_back(a);
+  return out;
+}
+
+std::vector<Assertion> Record::all() const {
+  std::vector<Assertion> out;
+  out.reserve(map_.size());
+  for (const auto& [key, a] : map_) out.push_back(a);
+  return out;
+}
+
+std::vector<std::string> Record::values(const std::string& name) const {
+  std::vector<std::string> out;
+  for (auto it = map_.lower_bound({name, ""}); it != map_.end() && it->first.first == name;
+       ++it)
+    if (!it->second.tombstone) out.push_back(it->second.value);
+  return out;
+}
+
+std::optional<std::string> Record::value(const std::string& name) const {
+  auto v = values(name);
+  if (v.empty()) return std::nullopt;
+  return v.front();
+}
+
+void Op::encode(ByteWriter& w) const {
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.str(name);
+  w.str(value);
+}
+
+Result<Op> Op::decode(ByteReader& r) {
+  Op op;
+  auto kind = r.u8();
+  if (!kind) return kind.error();
+  if (kind.value() < 1 || kind.value() > 3)
+    return Error{Errc::corrupt, "bad op kind"};
+  op.kind = static_cast<Op::Kind>(kind.value());
+  auto name = r.str();
+  if (!name) return name.error();
+  op.name = name.value();
+  auto value = r.str();
+  if (!value) return value.error();
+  op.value = value.value();
+  return op;
+}
+
+}  // namespace snipe::rcds

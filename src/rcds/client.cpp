@@ -1,0 +1,141 @@
+#include "rcds/client.hpp"
+
+#include <cassert>
+
+namespace snipe::rcds {
+
+namespace {
+Bytes encode_get(const std::string& uri) {
+  ByteWriter w;
+  w.str(uri);
+  return std::move(w).take();
+}
+
+Bytes encode_apply(const std::string& uri, const std::vector<Op>& ops) {
+  ByteWriter w;
+  w.str(uri);
+  w.u32(static_cast<std::uint32_t>(ops.size()));
+  for (const auto& op : ops) op.encode(w);
+  return std::move(w).take();
+}
+
+/// Parses the master address out of a single-master referral error
+/// ("single-master: write at host:port").
+Result<simnet::Address> referral_target(const std::string& message) {
+  auto at = message.rfind(" at ");
+  if (at == std::string::npos) return Error{Errc::corrupt, "no referral address"};
+  std::string hostport = message.substr(at + 4);
+  auto colon = hostport.rfind(':');
+  if (colon == std::string::npos) return Error{Errc::corrupt, "no referral port"};
+  return simnet::Address{hostport.substr(0, colon),
+                         static_cast<std::uint16_t>(std::stoi(hostport.substr(colon + 1)))};
+}
+}  // namespace
+
+RcClient::RcClient(transport::RpcEndpoint& rpc, std::vector<simnet::Address> replicas,
+                   RcClientConfig config)
+    : rpc_(rpc), replicas_(std::move(replicas)), config_(config) {
+  assert(!replicas_.empty() && "RcClient needs at least one replica");
+}
+
+void RcClient::get(const std::string& uri, AssertionsHandler done) {
+  ++stats_.lookups;
+  attempt(tags::kGet, encode_get(uri), preferred_, static_cast<int>(replicas_.size()),
+          std::move(done));
+}
+
+void RcClient::apply(const std::string& uri, std::vector<Op> ops, AssertionsHandler done) {
+  ++stats_.writes;
+  attempt(tags::kApply, encode_apply(uri, ops), preferred_,
+          static_cast<int>(replicas_.size()), std::move(done));
+}
+
+void RcClient::attempt(std::uint32_t tag, Bytes body, std::size_t replica_index,
+                       int tries_left, AssertionsHandler done) {
+  const simnet::Address replica = replicas_[replica_index % replicas_.size()];
+  rpc_.call(
+      replica, tag, body,
+      [this, tag, body, replica_index, tries_left, done](Result<Bytes> response) mutable {
+        if (!response) {
+          if (response.code() == Errc::state_error) {
+            // Single-master referral: retry once directly at the master.
+            if (auto master = referral_target(response.error().message); master.ok()) {
+              rpc_.call(
+                  master.value(), tag, body,
+                  [this, done](Result<Bytes> r2) {
+                    if (!r2) {
+                      ++stats_.failures;
+                      done(r2.error());
+                      return;
+                    }
+                    auto update = decode_update(r2.value());
+                    if (!update) {
+                      done(update.error());
+                      return;
+                    }
+                    done(std::move(update.value().second));
+                  },
+                  config_.try_timeout);
+              return;
+            }
+          }
+          if (tries_left > 1) {
+            ++stats_.failovers;
+            preferred_ = (replica_index + 1) % replicas_.size();
+            attempt(tag, std::move(body), replica_index + 1, tries_left - 1, std::move(done));
+          } else {
+            ++stats_.failures;
+            done(response.error());
+          }
+          return;
+        }
+        auto update = decode_update(response.value());
+        if (!update) {
+          done(update.error());
+          return;
+        }
+        done(std::move(update.value().second));
+      },
+      config_.try_timeout);
+}
+
+void RcClient::lookup(const std::string& uri, const std::string& name, ValuesHandler done) {
+  get(uri, [name, done](Result<std::vector<Assertion>> r) {
+    if (!r) {
+      done(r.error());
+      return;
+    }
+    std::vector<std::string> values;
+    for (const auto& a : r.value())
+      if (a.name == name) values.push_back(a.value);
+    done(std::move(values));
+  });
+}
+
+namespace {
+RcClient::AssertionsHandler discard_to(RcClient::DoneHandler done) {
+  return [done = std::move(done)](Result<std::vector<Assertion>> r) {
+    if (!r)
+      done(r.error());
+    else
+      done(ok_result());
+  };
+}
+}  // namespace
+
+void RcClient::set(const std::string& uri, const std::string& name, const std::string& value,
+                   DoneHandler done) {
+  apply(uri, {op_set(name, value)}, discard_to(std::move(done)));
+}
+
+void RcClient::add(const std::string& uri, const std::string& name, const std::string& value,
+                   DoneHandler done) {
+  apply(uri, {op_add(name, value)}, discard_to(std::move(done)));
+}
+
+void RcClient::remove(const std::string& uri, const std::string& name,
+                      const std::string& value, DoneHandler done) {
+  apply(uri, {op_remove(name, value)}, discard_to(std::move(done)));
+}
+
+}  // namespace snipe::rcds

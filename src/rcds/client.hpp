@@ -1,0 +1,68 @@
+// RC resolver client (§3.4 "Resource location").
+//
+// Wraps any RpcEndpoint with the metadata operations every SNIPE component
+// needs, with replica failover: requests go to a preferred replica and
+// rotate to the others on timeout — replication is what gave the UTK
+// testbed its "almost perfect level of availability" (§6), and
+// bench_availability measures this client against failing replicas.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "rcds/assertion.hpp"
+#include "rcds/server.hpp"
+#include "transport/rpc.hpp"
+
+namespace snipe::rcds {
+
+struct RcClientConfig {
+  /// Per-replica attempt timeout; total worst case is this times replicas.
+  SimDuration try_timeout = duration::milliseconds(800);
+};
+
+struct RcClientStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t failovers = 0;   ///< attempts that moved to another replica
+  std::uint64_t failures = 0;    ///< operations that exhausted all replicas
+};
+
+class RcClient {
+ public:
+  using AssertionsHandler = std::function<void(Result<std::vector<Assertion>>)>;
+  using ValuesHandler = std::function<void(Result<std::vector<std::string>>)>;
+  using DoneHandler = std::function<void(Result<void>)>;
+
+  RcClient(transport::RpcEndpoint& rpc, std::vector<simnet::Address> replicas,
+           RcClientConfig config = {});
+
+  /// Full metadata for a URI.
+  void get(const std::string& uri, AssertionsHandler done);
+  /// Applies a batch of mutations.
+  void apply(const std::string& uri, std::vector<Op> ops, AssertionsHandler done);
+
+  // Sugar over get/apply.
+  void lookup(const std::string& uri, const std::string& name, ValuesHandler done);
+  void set(const std::string& uri, const std::string& name, const std::string& value,
+           DoneHandler done);
+  void add(const std::string& uri, const std::string& name, const std::string& value,
+           DoneHandler done);
+  void remove(const std::string& uri, const std::string& name, const std::string& value,
+              DoneHandler done);
+
+  const std::vector<simnet::Address>& replicas() const { return replicas_; }
+  const RcClientStats& stats() const { return stats_; }
+
+ private:
+  void attempt(std::uint32_t tag, Bytes body, std::size_t replica_index, int tries_left,
+               AssertionsHandler done);
+
+  transport::RpcEndpoint& rpc_;
+  std::vector<simnet::Address> replicas_;
+  RcClientConfig config_;
+  std::size_t preferred_ = 0;
+  RcClientStats stats_;
+};
+
+}  // namespace snipe::rcds

@@ -1,0 +1,378 @@
+#include "rm/resource_manager.hpp"
+
+#include <limits>
+
+#include "util/uri.hpp"
+
+namespace snipe::rm {
+
+Bytes Reservation::encode() const {
+  ByteWriter w;
+  w.str(host);
+  w.str(daemon.host);
+  w.u16(daemon.port);
+  w.blob(authorization);
+  return std::move(w).take();
+}
+
+Result<Reservation> Reservation::decode(const Bytes& data) {
+  ByteReader r(data);
+  Reservation res;
+  auto host = r.str();
+  if (!host) return host.error();
+  res.host = host.value();
+  auto dh = r.str();
+  if (!dh) return dh.error();
+  auto dp = r.u16();
+  if (!dp) return dp.error();
+  res.daemon = {dh.value(), dp.value()};
+  auto auth = r.blob();
+  if (!auth) return auth.error();
+  res.authorization = auth.value();
+  return res;
+}
+
+Bytes user_grant_payload(const std::string& user, const std::string& program,
+                         const std::string& requesting_host) {
+  ByteWriter w;
+  w.str("snipe:user-grant");
+  w.str(user);
+  w.str(program);
+  w.str(requesting_host);
+  return std::move(w).take();
+}
+
+Bytes host_attest_payload(const std::string& host, const std::string& program) {
+  ByteWriter w;
+  w.str("snipe:host-attestation");
+  w.str(host);
+  w.str(program);
+  return std::move(w).take();
+}
+
+Bytes AuthorizeRequest::encode() const {
+  ByteWriter w;
+  w.blob(user_cert.encode());
+  w.blob(user_grant.encode());
+  w.blob(host_cert.encode());
+  w.blob(host_attest.encode());
+  w.str(program);
+  w.str(target_host);
+  return std::move(w).take();
+}
+
+Result<AuthorizeRequest> AuthorizeRequest::decode(const Bytes& data) {
+  ByteReader r(data);
+  AuthorizeRequest req;
+  auto uc = r.blob();
+  if (!uc) return uc.error();
+  auto user_cert = crypto::Certificate::decode(uc.value());
+  if (!user_cert) return user_cert.error();
+  req.user_cert = std::move(user_cert).take();
+  auto ug = r.blob();
+  if (!ug) return ug.error();
+  auto user_grant = crypto::SignedStatement::decode(ug.value());
+  if (!user_grant) return user_grant.error();
+  req.user_grant = std::move(user_grant).take();
+  auto hc = r.blob();
+  if (!hc) return hc.error();
+  auto host_cert = crypto::Certificate::decode(hc.value());
+  if (!host_cert) return host_cert.error();
+  req.host_cert = std::move(host_cert).take();
+  auto ha = r.blob();
+  if (!ha) return ha.error();
+  auto host_attest = crypto::SignedStatement::decode(ha.value());
+  if (!host_attest) return host_attest.error();
+  req.host_attest = std::move(host_attest).take();
+  auto program = r.str();
+  if (!program) return program.error();
+  req.program = program.value();
+  auto target = r.str();
+  if (!target) return target.error();
+  req.target_host = target.value();
+  return req;
+}
+
+ResourceManager::ResourceManager(simnet::Host& host, std::vector<simnet::Address> rc_replicas,
+                                 crypto::Principal principal, std::uint16_t port,
+                                 RmConfig config)
+    : rpc_(host, port, {}),
+      engine_(host.world()->engine()),
+      config_(std::move(config)),
+      principal_(std::move(principal)),
+      rc_(rpc_, std::move(rc_replicas)),
+      log_("rm@" + host.name()) {
+  rpc_.serve_async(tags::kAllocate,
+                   [this](const simnet::Address& from, const Bytes& body,
+                          transport::RpcEndpoint::Responder respond) {
+                     queue_decision([this, from, body, respond = std::move(respond)] {
+                       handle_allocate(from, body, std::move(respond));
+                     });
+                   });
+  rpc_.serve_async(tags::kReserve,
+                   [this](const simnet::Address&, const Bytes& body,
+                          transport::RpcEndpoint::Responder respond) {
+                     queue_decision([this, body, respond = std::move(respond)] {
+                       respond(handle_reserve(body));
+                     });
+                   });
+  rpc_.serve(tags::kAuthorize, [this](const simnet::Address&, const Bytes& body) {
+    return handle_authorize(body);
+  });
+  rpc_.serve(tags::kPing,
+             [](const simnet::Address&, const Bytes&) -> Result<Bytes> { return Bytes{}; });
+  // Raw port for health pongs from the daemons we manage.
+  ping_port_ = host.ephemeral_port();
+  host.bind(ping_port_, [this](const simnet::Packet& p) {
+        ByteReader r(p.payload);
+        auto load = r.f64();
+        if (!load) return;
+        for (auto& [name, info] : hosts_) {
+          if (info.ping.host == p.src.host && info.ping.port == p.src.port) {
+            info.load = load.value();
+            info.pong_seen = true;
+            info.missed_polls = 0;
+            info.alive = true;
+            return;
+          }
+        }
+      })
+      .value();
+  engine_.schedule_weak(config_.monitor_period, [this] { poll_hosts(); });
+}
+
+std::string ResourceManager::url() const {
+  return "snipe://" + rpc_.address().host + ":" + std::to_string(rpc_.address().port) + "/rm";
+}
+
+void ResourceManager::manage_host(const std::string& host_name,
+                                  const simnet::Address& daemon) {
+  HostInfo info;
+  info.daemon = daemon;
+  info.ping = simnet::Address{
+      daemon.host,
+      static_cast<std::uint16_t>(daemon.port + daemon::SnipeDaemon::kPingPortOffset)};
+  hosts_[host_name] = info;
+  // Register as a broker in the host metadata (§5.2.1) and pull host facts.
+  std::string uri = snipe::host_url(host_name, daemon.port);
+  rc_.add(uri, rcds::names::kHostBroker, url(), [](Result<void>) {});
+  rc_.get(uri, [this, host_name](Result<std::vector<rcds::Assertion>> r) {
+    if (!r) return;
+    auto it = hosts_.find(host_name);
+    if (it == hosts_.end()) return;
+    for (const auto& a : r.value()) {
+      if (a.name == rcds::names::kHostArch) it->second.arch = a.value;
+      if (a.name == rcds::names::kHostCpus) it->second.cpus = std::stoi(a.value);
+    }
+  });
+}
+
+void ResourceManager::queue_decision(std::function<void()> work) {
+  // One decision at a time: requests queue behind the RM's CPU, which is
+  // what makes a single centralized RM the §2.2 bottleneck.
+  SimTime start = std::max(engine_.now(), busy_until_);
+  busy_until_ = start + config_.decision_time;
+  engine_.schedule_at(busy_until_, std::move(work));
+}
+
+void ResourceManager::poll_hosts() {
+  engine_.schedule_weak(config_.monitor_period, [this] { poll_hosts(); });
+  if (!rpc_.host().up()) return;
+  simnet::Host* host = rpc_.host().world()->host(rpc_.address().host);
+  for (auto& [name, info] : hosts_) {
+    ++stats_.polls;
+    // Score the previous round first.
+    if (!info.pong_seen && ++info.missed_polls >= config_.dead_after_misses)
+      info.alive = false;
+    info.pong_seen = false;
+    simnet::SendOptions opts;
+    opts.src_port = ping_port_;
+    auto r = host->send(info.ping, Bytes{0x1}, opts);
+    if (!r) log_.trace("probe to ", name, " failed: ", r.error().to_string());
+  }
+}
+
+std::size_t ResourceManager::live_hosts() const {
+  std::size_t n = 0;
+  for (const auto& [name, info] : hosts_)
+    if (info.alive) ++n;
+  return n;
+}
+
+Result<std::string> ResourceManager::select_host(const daemon::SpawnRequest& request) const {
+  // "allocating resources as needed from those available, attempting to
+  // adhere to resource allocation goals" (§3.5): least-loaded live host
+  // that satisfies the environment spec.
+  const HostInfo* best = nullptr;
+  const std::string* best_name = nullptr;
+  for (const auto& [name, info] : hosts_) {
+    if (!info.alive) continue;
+    if (!request.require_arch.empty() && !info.arch.empty() &&
+        info.arch != request.require_arch)
+      continue;
+    if (request.require_cpus > info.cpus) continue;
+    if (best == nullptr || info.load < best->load) {
+      best = &info;
+      best_name = &name;
+    }
+  }
+  if (best == nullptr)
+    return Result<std::string>(Errc::unreachable, "no live host satisfies the request");
+  return *best_name;
+}
+
+Bytes ResourceManager::sign_authorization(const std::string& program,
+                                          const std::string& host) const {
+  auto stmt = crypto::SignedStatement::make(
+      principal_, daemon::authorization_payload(program, host));
+  return stmt.encode();
+}
+
+void ResourceManager::establish_session(const std::string& host_name,
+                                        std::function<void(Result<void>)> done) {
+  auto it = hosts_.find(host_name);
+  if (it == hosts_.end()) {
+    done(Error{Errc::not_found, host_name + " is not managed here"});
+    return;
+  }
+  const simnet::Address daemon = it->second.daemon;
+  // The daemon's public key lives in its host metadata (§5.2.1).
+  std::string uri = snipe::host_url(host_name, daemon.port);
+  rc_.lookup(uri, rcds::names::kHostKey,
+             [this, host_name, daemon, done = std::move(done)](
+                 Result<std::vector<std::string>> r) {
+               if (!r) {
+                 done(r.error());
+                 return;
+               }
+               if (r.value().empty()) {
+                 done(Error{Errc::not_found, "no host key registered for " + host_name});
+                 return;
+               }
+               auto key_bytes = hex_decode(r.value().front());
+               if (!key_bytes) {
+                 done(key_bytes.error());
+                 return;
+               }
+               auto key = crypto::PublicKey::decode(key_bytes.value());
+               if (!key) {
+                 done(key.error());
+                 return;
+               }
+               auto initiated = crypto::Session::initiate(key.value(), session_rng_);
+               if (!initiated) {
+                 done(initiated.error());
+                 return;
+               }
+               auto session =
+                   std::make_shared<crypto::Session>(std::move(initiated.value().first));
+               // The hello is signed so the daemon knows it is *us* (a raw
+               // encrypted key could come from anyone).
+               auto hello = crypto::SignedStatement::make(
+                   principal_, std::move(initiated.value().second));
+               rpc_.call(daemon, daemon::tags::kSessionHello, hello.encode(),
+                         [this, host_name, session, done = std::move(done)](Result<Bytes> r2) {
+                           if (!r2) {
+                             done(r2.error());
+                             return;
+                           }
+                           auto it = hosts_.find(host_name);
+                           if (it != hosts_.end()) it->second.session = session;
+                           done(ok_result());
+                         });
+             });
+}
+
+void ResourceManager::handle_allocate(const simnet::Address& from, const Bytes& body,
+                                      transport::RpcEndpoint::Responder respond) {
+  auto request = daemon::SpawnRequest::decode(body);
+  if (!request) {
+    respond(request.error());
+    return;
+  }
+  auto host = select_host(request.value());
+  if (!host) {
+    ++stats_.allocation_failures;
+    respond(host.error());
+    return;
+  }
+  HostInfo& info = hosts_[host.value()];
+  // Active mode: proxy the spawn (§3.5 "the resource manager acts as a
+  // proxy for the requester").  Over an established §4 session the request
+  // goes sealed and unsigned; otherwise it carries our RSA authorization.
+  daemon::SpawnRequest forwarded = request.value();
+  ++stats_.allocations;
+  info.load += 1.0 / std::max(1, info.cpus);  // optimistic until next poll
+  auto completion = [respond, this](Result<Bytes> r) {
+    if (!r) {
+      ++stats_.allocation_failures;
+      respond(r.error());
+      return;
+    }
+    respond(r.value());
+  };
+  if (info.session != nullptr) {
+    ++stats_.sealed_spawns;
+    rpc_.call(info.daemon, daemon::tags::kSpawnSealed,
+              info.session->seal(forwarded.encode()), completion);
+  } else {
+    forwarded.authorization = sign_authorization(forwarded.program, host.value());
+    rpc_.call(info.daemon, daemon::tags::kSpawn, forwarded.encode(), completion);
+  }
+  (void)from;
+}
+
+Result<Bytes> ResourceManager::handle_reserve(const Bytes& body) {
+  auto request = daemon::SpawnRequest::decode(body);
+  if (!request) return request.error();
+  auto host = select_host(request.value());
+  if (!host) {
+    ++stats_.allocation_failures;
+    return host.error();
+  }
+  // Passive mode (§3.5): reserve and let the requester do the spawn.
+  HostInfo& info = hosts_[host.value()];
+  info.load += 1.0 / std::max(1, info.cpus);
+  ++stats_.reservations;
+  Reservation res{host.value(), info.daemon,
+                  sign_authorization(request.value().program, host.value())};
+  return res.encode();
+}
+
+Result<Bytes> ResourceManager::handle_authorize(const Bytes& body) {
+  auto request = AuthorizeRequest::decode(body);
+  if (!request) return request.error();
+  const AuthorizeRequest& req = request.value();
+
+  // §4: "One is a signed statement from the user, granting a particular
+  // process on a particular host, access to the desired resources."
+  auto user_ok = config_.trust.validate_statement(req.user_grant, req.user_cert,
+                                                  crypto::TrustPurpose::identify_user);
+  if (!user_ok) {
+    ++stats_.authorizations_rejected;
+    return Result<Bytes>(user_ok.error().code, "user grant: " + user_ok.error().message);
+  }
+  if (req.user_grant.payload !=
+      user_grant_payload(req.user_cert.subject, req.program, req.host_cert.subject)) {
+    ++stats_.authorizations_rejected;
+    return Result<Bytes>(Errc::permission_denied, "user grant does not cover this request");
+  }
+  // "The second is a signed statement from the requesting host indicating
+  // that the resources are requested by that process."
+  auto host_ok = config_.trust.validate_statement(req.host_attest, req.host_cert,
+                                                  crypto::TrustPurpose::identify_host);
+  if (!host_ok) {
+    ++stats_.authorizations_rejected;
+    return Result<Bytes>(host_ok.error().code, "host attestation: " + host_ok.error().message);
+  }
+  if (req.host_attest.payload != host_attest_payload(req.host_cert.subject, req.program)) {
+    ++stats_.authorizations_rejected;
+    return Result<Bytes>(Errc::permission_denied, "host attestation does not match");
+  }
+  // "the resource manager then issues its own signed statement authorizing
+  // use of the requested resources by that process".
+  ++stats_.authorizations_issued;
+  return sign_authorization(req.program, req.target_host);
+}
+
+}  // namespace snipe::rm

@@ -1,0 +1,82 @@
+#include "simnet/engine.hpp"
+
+#include <cassert>
+
+#include "util/log.hpp"
+
+namespace snipe::simnet {
+
+Engine::Engine(std::uint64_t seed) : rng_(seed) {
+  // Give log lines the virtual clock for the lifetime of this engine.
+  set_log_time_source([this] { return now_; });
+}
+
+Engine::~Engine() { set_log_time_source(nullptr); }
+
+TimerId Engine::schedule(SimDuration delay, std::function<void()> fn) {
+  assert(delay >= 0 && "cannot schedule into the past");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+TimerId Engine::schedule_at(SimTime when, std::function<void()> fn) {
+  assert(when >= now_ && "cannot schedule into the past");
+  std::uint64_t seq = next_seq_++;
+  queue_.emplace(Key{when, seq}, Entry{std::move(fn), false});
+  ++strong_pending_;
+  return TimerId{seq};
+}
+
+TimerId Engine::schedule_weak(SimDuration delay, std::function<void()> fn) {
+  assert(delay >= 0 && "cannot schedule into the past");
+  std::uint64_t seq = next_seq_++;
+  queue_.emplace(Key{now_ + delay, seq}, Entry{std::move(fn), true});
+  return TimerId{seq};
+}
+
+void Engine::cancel(TimerId id) {
+  if (!id.valid()) return;
+  // Events are keyed by (time, seq); seq alone identifies the entry, so we
+  // scan. The queue is small relative to event volume and cancels are rare
+  // (retransmit timers that fired normally are simply dropped), so a linear
+  // scan keyed on seq is acceptable and keeps the structure simple.
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->first.second == id.seq) {
+      if (!it->second.weak) --strong_pending_;
+      queue_.erase(it);
+      return;
+    }
+  }
+}
+
+bool Engine::step() {
+  if (queue_.empty()) return false;
+  auto it = queue_.begin();
+  assert(it->first.first >= now_);
+  now_ = it->first.first;
+  Entry entry = std::move(it->second);
+  queue_.erase(it);
+  if (!entry.weak) --strong_pending_;
+  ++events_run_;
+  entry.fn();
+  return true;
+}
+
+std::size_t Engine::run(std::size_t max_events) {
+  std::size_t n = 0;
+  while (n < max_events && strong_pending_ > 0 && step()) ++n;
+  return n;
+}
+
+void Engine::clear() {
+  queue_.clear();
+  strong_pending_ = 0;
+}
+
+void Engine::run_until(SimTime t) {
+  while (!queue_.empty() && queue_.begin()->first.first <= t) step();
+  if (now_ < t) now_ = t;
+}
+
+// run_for is defined inline in the header in terms of run_until.
+
+}  // namespace snipe::simnet

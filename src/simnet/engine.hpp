@@ -1,0 +1,86 @@
+// The discrete-event engine every SNIPE component runs on.
+//
+// This replaces the paper's multi-site Internet testbed (see DESIGN.md §2):
+// hosts, daemons, protocols and applications are all callbacks scheduled on
+// one virtual clock.  Determinism rules:
+//   * events at equal times fire in scheduling order (monotonic sequence
+//     numbers break ties);
+//   * all randomness flows from the engine's seeded Rng (or forks of it).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace snipe::simnet {
+
+/// Handle for cancelling a scheduled event.  Default-constructed handles
+/// are "null" and safe to cancel.
+struct TimerId {
+  std::uint64_t seq = 0;
+  bool valid() const { return seq != 0; }
+};
+
+class Engine {
+ public:
+  explicit Engine(std::uint64_t seed = 1);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current virtual time.
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` from now (delay >= 0).
+  TimerId schedule(SimDuration delay, std::function<void()> fn);
+  /// Schedules `fn` at an absolute time (>= now).
+  TimerId schedule_at(SimTime when, std::function<void()> fn);
+  /// Schedules a *weak* (housekeeping) event: periodic background ticks —
+  /// anti-entropy rounds, load reports, router refresh — that should not
+  /// keep `run()` alive on their own.  `run()` stops once only weak events
+  /// remain; `run_until`/`run_for` execute them like any other event.
+  TimerId schedule_weak(SimDuration delay, std::function<void()> fn);
+  /// Cancels a pending event; cancelling a fired or null timer is a no-op.
+  void cancel(TimerId id);
+
+  /// Runs the earliest pending event; returns false if none are pending.
+  bool step();
+  /// Runs events until no *strong* events remain (weak housekeeping ticks
+  /// do not count) or `max_events` have fired; returns the number run.
+  std::size_t run(std::size_t max_events = static_cast<std::size_t>(-1));
+  /// Runs events with time <= t, then advances the clock to exactly t.
+  void run_until(SimTime t);
+  /// Runs events for the next `d` of virtual time.
+  void run_for(SimDuration d) { run_until(now_ + d); }
+
+  /// The run-level RNG; components should fork() their own streams.
+  Rng& rng() { return rng_; }
+
+  /// Number of events executed so far (useful as a work metric in tests).
+  std::uint64_t events_run() const { return events_run_; }
+
+  /// Discards every pending event without running it.  World calls this in
+  /// its destructor so event-owned resources (e.g. a migration relay's
+  /// endpoint) are released while hosts still exist.
+  void clear();
+
+ private:
+  using Key = std::pair<SimTime, std::uint64_t>;
+  struct Entry {
+    std::function<void()> fn;
+    bool weak = false;
+  };
+  std::map<Key, Entry> queue_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t events_run_ = 0;
+  std::size_t strong_pending_ = 0;
+  Rng rng_;
+};
+
+}  // namespace snipe::simnet

@@ -1,0 +1,81 @@
+#include "simnet/media.hpp"
+
+#include <cmath>
+
+namespace snipe::simnet {
+
+SimDuration media_seconds_to_duration(double s) { return static_cast<SimDuration>(s * 1e9); }
+
+SimDuration MediaModel::serialize_time(std::size_t payload) const {
+  double effective_bps = bandwidth_bps * (1.0 - cell_tax);
+  double bits = static_cast<double>(payload + overhead) * 8.0;
+  return static_cast<SimDuration>(std::ceil(bits / effective_bps * 1e9));
+}
+
+MediaModel ethernet100() {
+  MediaModel m;
+  m.name = "eth100";
+  m.bandwidth_bps = 100e6;
+  m.latency = duration::microseconds(55);  // switch + host stack
+  m.mtu = 1500;
+  // preamble(8) + eth hdr(14) + FCS(4) + inter-frame gap(12) + IP(20) + UDP(8)
+  m.overhead = 66;
+  m.loss = 0.0;
+  return m;
+}
+
+MediaModel ethernet10() {
+  MediaModel m = ethernet100();
+  m.name = "eth10";
+  m.bandwidth_bps = 10e6;
+  m.latency = duration::microseconds(100);
+  return m;
+}
+
+MediaModel atm155() {
+  MediaModel m;
+  m.name = "atm155";
+  // OC-3c: 155.52 Mb/s line rate, ~149.76 Mb/s after SONET framing.
+  m.bandwidth_bps = 149.76e6;
+  m.latency = duration::microseconds(110);
+  m.mtu = 9180;       // classical IP over ATM default MTU (RFC 1626)
+  m.overhead = 36;    // LLC/SNAP + AAL5 trailer + IP + UDP
+  m.cell_tax = 5.0 / 53.0;  // 5 header bytes per 53-byte cell
+  m.loss = 0.0;
+  return m;
+}
+
+MediaModel myrinet() {
+  MediaModel m;
+  m.name = "myrinet";
+  m.bandwidth_bps = 1280e6;  // 1.28 Gb/s full duplex
+  m.latency = duration::microseconds(9);
+  m.mtu = 8192;
+  m.overhead = 16;
+  m.loss = 0.0;
+  return m;
+}
+
+MediaModel wan_t3() {
+  MediaModel m;
+  m.name = "wan_t3";
+  m.bandwidth_bps = 45e6;
+  m.latency = duration::milliseconds(18);  // UTK <-> Wright-Patterson scale
+  m.mtu = 1500;
+  m.overhead = 66;
+  m.loss = 0.0005;
+  return m;
+}
+
+MediaModel internet_lossy() {
+  MediaModel m;
+  m.name = "internet";
+  m.bandwidth_bps = 10e6;
+  m.latency = duration::milliseconds(45);  // transatlantic (UTK <-> Reading)
+  m.mtu = 1500;
+  m.overhead = 66;
+  m.loss = 0.01;
+  return m;
+}
+
+}  // namespace snipe::simnet

@@ -1,0 +1,46 @@
+// Media models for the link types the paper evaluates (§5.2.1, §6, Fig. 1).
+//
+// Each model captures what decides protocol-visible throughput: raw signal
+// rate, per-packet framing overhead (which is what separates ATM's cell tax
+// from Ethernet's preamble), propagation latency, MTU, and a baseline random
+// loss rate.  Numbers are the standard published characteristics of each
+// medium circa 1997; EXPERIMENTS.md compares the resulting curves with
+// Fig. 1's.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "util/time.hpp"
+
+namespace snipe::simnet {
+
+struct MediaModel {
+  std::string name;
+  double bandwidth_bps = 0;     ///< raw bit rate on the wire
+  SimDuration latency = 0;      ///< one-way propagation + switch latency
+  std::size_t mtu = 0;          ///< maximum payload per datagram
+  std::size_t overhead = 0;     ///< per-packet framing bytes (headers etc.)
+  double cell_tax = 0.0;        ///< fraction of bandwidth lost to cells
+                                ///< (ATM: 5/53 header bytes per cell)
+  double loss = 0.0;            ///< baseline packet loss probability
+
+  /// Time to serialize a datagram of `payload` bytes onto this medium.
+  SimDuration serialize_time(std::size_t payload) const;
+};
+
+/// 100 Mbit switched Ethernet (Fig. 1's "100M-bit ethernet").
+MediaModel ethernet100();
+/// 10 Mbit Ethernet, for contrast runs.
+MediaModel ethernet10();
+/// 155 Mbit OC-3 ATM with AAL5 (Fig. 1's "155 M-bit ATM").
+MediaModel atm155();
+/// Myrinet, the fast system-area network §3.4 lists among usable media.
+MediaModel myrinet();
+/// A T3-class wide-area path: what separates the UTK / Reading / ASC MSRC
+/// testbed sites (§6); high latency, nonzero loss.
+MediaModel wan_t3();
+/// A lossy long-haul Internet path for robustness experiments.
+MediaModel internet_lossy();
+
+}  // namespace snipe::simnet

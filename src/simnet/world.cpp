@@ -1,0 +1,199 @@
+#include "simnet/world.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace snipe::simnet {
+
+Host::Host(World* world, std::string name, Rng rng)
+    : world_(world), name_(std::move(name)), rng_(rng), log_("host@" + name_) {}
+
+Result<void> Host::bind(std::uint16_t port, PacketHandler handler) {
+  if (ports_.count(port))
+    return Error{Errc::already_exists, name_ + " port " + std::to_string(port) + " in use"};
+  ports_[port] = std::move(handler);
+  return ok_result();
+}
+
+void Host::unbind(std::uint16_t port) { ports_.erase(port); }
+
+std::uint16_t Host::ephemeral_port() {
+  while (ports_.count(next_ephemeral_)) {
+    ++next_ephemeral_;
+    if (next_ephemeral_ == 0) next_ephemeral_ = 49152;
+  }
+  return next_ephemeral_++;
+}
+
+Nic* Host::nic_on(const std::string& network) {
+  for (auto& nic : nics_)
+    if (nic->network()->name() == network) return nic.get();
+  return nullptr;
+}
+
+std::vector<std::string> Host::up_networks() const {
+  std::vector<std::string> out;
+  for (const auto& nic : nics_)
+    if (nic->up() && nic->network()->up()) out.push_back(nic->network()->name());
+  return out;
+}
+
+Result<std::string> Host::send(const Address& dst, Bytes payload, const SendOptions& opts) {
+  if (!up_) return Error{Errc::unreachable, name_ + " is down"};
+  Host* dst_host = world_->host(dst.host);
+  if (!dst_host) return Error{Errc::not_found, "no such host " + dst.host};
+
+  // Candidate networks: both endpoints attached with up NICs, network up.
+  // §5.3: "the message is sent using the fastest of those" — order by
+  // effective bandwidth, then lower latency, then name for determinism.
+  std::vector<std::pair<Nic*, Nic*>> candidates;  // (our nic, their nic)
+  for (auto& nic : nics_) {
+    if (!nic->up() || !nic->network()->up()) continue;
+    Nic* theirs = dst_host->nic_on(nic->network()->name());
+    if (theirs == nullptr) continue;
+    candidates.emplace_back(nic.get(), theirs);
+  }
+  if (candidates.empty())
+    return Error{Errc::unreachable, "no shared network between " + name_ + " and " + dst.host};
+
+  std::stable_sort(candidates.begin(), candidates.end(), [](const auto& a, const auto& b) {
+    const MediaModel& ma = a.first->network()->model();
+    const MediaModel& mb = b.first->network()->model();
+    double ea = ma.bandwidth_bps * (1.0 - ma.cell_tax);
+    double eb = mb.bandwidth_bps * (1.0 - mb.cell_tax);
+    if (ea != eb) return ea > eb;
+    if (ma.latency != mb.latency) return ma.latency < mb.latency;
+    return a.first->network()->name() < b.first->network()->name();
+  });
+  if (!opts.preferred_network.empty()) {
+    auto it = std::find_if(candidates.begin(), candidates.end(), [&](const auto& c) {
+      return c.first->network()->name() == opts.preferred_network;
+    });
+    if (it != candidates.end()) std::rotate(candidates.begin(), it, it + 1);
+  }
+
+  auto [ours, theirs] = candidates.front();
+  Network* net = ours->network();
+  if (payload.size() > net->model().mtu)
+    return Error{Errc::invalid_argument,
+                 "datagram of " + std::to_string(payload.size()) + " bytes exceeds MTU " +
+                     std::to_string(net->model().mtu) + " on " + net->name()};
+
+  Engine& engine = world_->engine();
+  SimTime start = std::max(engine.now(), ours->next_free);
+  SimDuration ser = net->model().serialize_time(payload.size());
+  ours->next_free = start + ser;
+  SimTime arrival = ours->next_free + net->model().latency;
+
+  net->stats().packets_sent++;
+  net->stats().bytes_sent += payload.size();
+
+  bool lost = rng_.chance(net->total_loss());
+  if (lost) {
+    net->stats().drops_loss++;
+    return net->name();  // like UDP: the sender cannot tell
+  }
+
+  Packet packet{Address{name_, opts.src_port}, dst, std::move(payload), net->name()};
+  Host* target = dst_host;
+  engine.schedule_at(arrival, [target, net, packet = std::move(packet)]() mutable {
+    target->deliver(std::move(packet), net);
+  });
+  return net->name();
+}
+
+void Host::deliver(Packet packet, Network* network) {
+  // Conditions are re-checked at delivery time: the destination may have
+  // died or the link may have failed while the packet was in flight.
+  Nic* nic = nic_on(network->name());
+  if (!up_ || !network->up() || nic == nullptr || !nic->up()) {
+    network->stats().drops_down++;
+    return;
+  }
+  auto it = ports_.find(packet.dst.port);
+  if (it == ports_.end()) {
+    network->stats().drops_unbound++;
+    return;
+  }
+  network->stats().packets_delivered++;
+  it->second(packet);
+}
+
+Result<void> Host::broadcast(const std::string& network, std::uint16_t port, Bytes payload,
+                             std::uint16_t src_port) {
+  if (!up_) return Error{Errc::unreachable, name_ + " is down"};
+  Nic* ours = nic_on(network);
+  if (ours == nullptr || !ours->up() || !ours->network()->up())
+    return Error{Errc::unreachable, name_ + " has no up NIC on " + network};
+  Network* net = ours->network();
+  if (payload.size() > net->model().mtu)
+    return Error{Errc::invalid_argument, "broadcast exceeds MTU on " + network};
+
+  Engine& engine = world_->engine();
+  SimTime start = std::max(engine.now(), ours->next_free);
+  SimDuration ser = net->model().serialize_time(payload.size());
+  ours->next_free = start + ser;
+  SimTime arrival = ours->next_free + net->model().latency;
+
+  // One serialization, one arrival event per receiver — shared-medium
+  // broadcast, with loss drawn independently per receiver.
+  for (Nic* nic : net->nics()) {
+    if (nic->host() == this) continue;
+    net->stats().packets_sent++;
+    net->stats().bytes_sent += payload.size();
+    if (rng_.chance(net->total_loss())) {
+      net->stats().drops_loss++;
+      continue;
+    }
+    Host* target = nic->host();
+    Packet packet{Address{name_, src_port}, Address{target->name(), port}, payload,
+                  net->name()};
+    engine.schedule_at(arrival, [target, net, packet = std::move(packet)]() mutable {
+      target->deliver(std::move(packet), net);
+    });
+  }
+  return ok_result();
+}
+
+Network& World::create_network(const std::string& name, MediaModel model) {
+  assert(!networks_.count(name) && "duplicate network name");
+  auto net = std::make_unique<Network>(name, std::move(model));
+  Network& ref = *net;
+  networks_[name] = std::move(net);
+  return ref;
+}
+
+Host& World::create_host(const std::string& name) {
+  assert(!hosts_.count(name) && "duplicate host name");
+  auto host = std::make_unique<Host>(this, name, engine_.rng().fork());
+  Host& ref = *host;
+  hosts_[name] = std::move(host);
+  return ref;
+}
+
+Nic& World::attach(Host& host, Network& network) {
+  auto nic = std::make_unique<Nic>(&host, &network);
+  Nic& ref = *nic;
+  network.nics_.push_back(nic.get());
+  host.nics_.push_back(std::move(nic));
+  return ref;
+}
+
+Nic& World::attach(const std::string& host_name, const std::string& network_name) {
+  Host* h = host(host_name);
+  Network* n = network(network_name);
+  assert(h && n && "attach: unknown host or network");
+  return attach(*h, *n);
+}
+
+Host* World::host(const std::string& name) {
+  auto it = hosts_.find(name);
+  return it == hosts_.end() ? nullptr : it->second.get();
+}
+
+Network* World::network(const std::string& name) {
+  auto it = networks_.find(name);
+  return it == networks_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace snipe::simnet

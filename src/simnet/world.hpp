@@ -1,0 +1,210 @@
+// Hosts, networks and datagram delivery.
+//
+// A World is the simulated testbed: named hosts, each multi-homed onto one
+// or more named networks (Ethernet segments, an ATM fabric, a WAN path).
+// The only service simnet itself offers is an unreliable, MTU-limited,
+// possibly-lossy datagram: exactly the substrate UDP gave the real SNIPE
+// comms module.  Reliability, fragmentation, streams and multicast all live
+// one layer up, in snipe::transport, as they did in the paper (§6).
+//
+// Failure injection is first-class: hosts, networks and individual NICs can
+// be taken down and brought back at any virtual time; in-flight packets to
+// a dead destination are dropped, which is what the transport's failover
+// logic (§6: "switch routes/interfaces as links failed") must cope with.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "simnet/engine.hpp"
+#include "simnet/media.hpp"
+#include "util/bytes.hpp"
+#include "util/log.hpp"
+#include "util/result.hpp"
+
+namespace snipe::simnet {
+
+/// A network endpoint: host name + port.
+struct Address {
+  std::string host;
+  std::uint16_t port = 0;
+
+  std::string to_string() const { return host + ":" + std::to_string(port); }
+  friend bool operator==(const Address&, const Address&) = default;
+  friend bool operator<(const Address& a, const Address& b) {
+    return a.host != b.host ? a.host < b.host : a.port < b.port;
+  }
+};
+
+/// A delivered datagram.
+struct Packet {
+  Address src;
+  Address dst;
+  Bytes payload;
+  std::string network;  ///< network it arrived on
+};
+
+using PacketHandler = std::function<void(const Packet&)>;
+
+class World;
+class Host;
+
+/// One attachment point of a host to a network.
+class Nic {
+ public:
+  Nic(Host* host, class Network* network) : host_(host), network_(network) {}
+  Host* host() const { return host_; }
+  Network* network() const { return network_; }
+  bool up() const { return up_; }
+  void set_up(bool up) { up_ = up; }
+  /// Earliest time the egress side of this NIC is free to start serializing
+  /// the next packet (models bandwidth sharing between flows).
+  SimTime next_free = 0;
+
+ private:
+  Host* host_;
+  Network* network_;
+  bool up_ = true;
+};
+
+/// Aggregate traffic counters, kept per network and exposed by World for
+/// the bench harnesses.
+struct NetStats {
+  std::uint64_t packets_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t packets_delivered = 0;
+  std::uint64_t drops_loss = 0;      ///< random media loss
+  std::uint64_t drops_down = 0;      ///< host/NIC/network down at delivery
+  std::uint64_t drops_unbound = 0;   ///< no listener on the destination port
+};
+
+/// A shared medium: an Ethernet segment, ATM fabric, or point-to-point WAN.
+class Network {
+ public:
+  Network(std::string name, MediaModel model) : name_(std::move(name)), model_(model) {}
+
+  const std::string& name() const { return name_; }
+  const MediaModel& model() const { return model_; }
+  bool up() const { return up_; }
+  void set_up(bool up) { up_ = up; }
+  /// Additional loss injected on top of the media baseline (for loss
+  /// sweeps); total per-packet drop probability is baseline + extra.
+  void set_extra_loss(double p) { extra_loss_ = p; }
+  double total_loss() const { return model_.loss + extra_loss_; }
+
+  const std::vector<Nic*>& nics() const { return nics_; }
+  NetStats& stats() { return stats_; }
+  const NetStats& stats() const { return stats_; }
+
+ private:
+  friend class World;
+  std::string name_;
+  MediaModel model_;
+  bool up_ = true;
+  double extra_loss_ = 0.0;
+  std::vector<Nic*> nics_;
+  NetStats stats_;
+};
+
+/// Options for a single send.
+struct SendOptions {
+  /// If nonempty, try this network first even if a faster one is shared.
+  std::string preferred_network;
+  /// Stamped into the delivered Packet's src.port so receivers can reply.
+  std::uint16_t src_port = 0;
+};
+
+/// A simulated machine.  Hosts own their NICs and their port table.
+class Host {
+ public:
+  Host(World* world, std::string name, Rng rng);
+
+  const std::string& name() const { return name_; }
+  bool up() const { return up_; }
+  /// Taking a host down atomically clears nothing: bindings survive so the
+  /// host "reboots" with its services intact, which is how the availability
+  /// bench models crash/restart churn.
+  void set_up(bool up) { up_ = up; }
+
+  /// Registers a datagram handler on `port`.
+  Result<void> bind(std::uint16_t port, PacketHandler handler);
+  void unbind(std::uint16_t port);
+  bool bound(std::uint16_t port) const { return ports_.count(port) > 0; }
+  /// Picks an unused ephemeral port (49152+).
+  std::uint16_t ephemeral_port();
+
+  /// Sends one datagram.  Chooses the fastest shared up network (§5.3),
+  /// honouring `preferred_network` when it is available.  Fails with
+  ///   invalid_argument  if payload exceeds the chosen network's MTU,
+  ///   unreachable       if no shared network is up or the host is down.
+  /// On success returns the name of the network used.  Loss is applied at
+  /// delivery time; a lost packet still returns success here, as with UDP.
+  Result<std::string> send(const Address& dst, Bytes payload, const SendOptions& opts = {});
+
+  /// Sends to every other up NIC on `network` (link-level broadcast, used
+  /// by the experimental Ethernet multicast protocol of §6).
+  Result<void> broadcast(const std::string& network, std::uint16_t port, Bytes payload,
+                         std::uint16_t src_port = 0);
+
+  /// The NIC attaching this host to `network`, or nullptr.
+  Nic* nic_on(const std::string& network);
+  const std::vector<std::unique_ptr<Nic>>& nics() const { return nics_; }
+
+  /// Networks this host can currently transmit on.
+  std::vector<std::string> up_networks() const;
+
+  World* world() const { return world_; }
+  Rng& rng() { return rng_; }
+
+ private:
+  friend class World;
+  void deliver(Packet packet, Network* network);
+
+  World* world_;
+  std::string name_;
+  bool up_ = true;
+  std::vector<std::unique_ptr<Nic>> nics_;
+  std::map<std::uint16_t, PacketHandler> ports_;
+  std::uint16_t next_ephemeral_ = 49152;
+  Rng rng_;
+  Logger log_;
+};
+
+/// The whole simulated testbed: engine + hosts + networks.
+class World {
+ public:
+  explicit World(std::uint64_t seed = 1) : engine_(seed) {}
+  ~World() {
+    // Pending events may own endpoints that unbind from hosts on
+    // destruction; release them while the hosts are still alive.
+    engine_.clear();
+  }
+
+  Engine& engine() { return engine_; }
+  SimTime now() const { return engine_.now(); }
+
+  /// Creates a network; names must be unique.
+  Network& create_network(const std::string& name, MediaModel model);
+  /// Creates a host; names must be unique.
+  Host& create_host(const std::string& name);
+  /// Attaches a host to a network with a fresh NIC.
+  Nic& attach(Host& host, Network& network);
+  Nic& attach(const std::string& host, const std::string& network);
+
+  Host* host(const std::string& name);
+  Network* network(const std::string& name);
+
+  const std::map<std::string, std::unique_ptr<Host>>& hosts() const { return hosts_; }
+
+ private:
+  friend class Host;
+  Engine engine_;
+  std::map<std::string, std::unique_ptr<Host>> hosts_;
+  std::map<std::string, std::unique_ptr<Network>> networks_;
+};
+
+}  // namespace snipe::simnet

@@ -1,0 +1,150 @@
+#include "transport/ethmcast.hpp"
+
+#include <algorithm>
+
+namespace snipe::transport {
+
+EthMcastEndpoint::EthMcastEndpoint(simnet::Host& host, const std::string& network,
+                                   const std::string& group, std::uint16_t port,
+                                   EthMcastConfig config)
+    : host_(host),
+      engine_(host.world()->engine()),
+      network_(network),
+      group_(group),
+      port_(port),
+      config_(config),
+      log_("ethmcast@" + host.name() + "/" + group) {
+  auto* nic = host_.nic_on(network_);
+  assert(nic != nullptr && "host not attached to multicast segment");
+  // Leave room for the group name in the header.
+  frag_payload_ = nic->network()->model().mtu - kDataHeaderBytes - 8 - group.size();
+  host_.bind(port_, [this](const simnet::Packet& p) { on_packet(p); }).value();
+}
+
+EthMcastEndpoint::~EthMcastEndpoint() {
+  host_.unbind(port_);
+  for (auto& [key, msg] : in_) engine_.cancel(msg.nack_timer);
+}
+
+void EthMcastEndpoint::send(Bytes message) {
+  OutMessage msg;
+  msg.frag_size = frag_payload_;
+  msg.frag_count =
+      message.empty() ? 1
+                      : static_cast<std::uint32_t>((message.size() + frag_payload_ - 1) /
+                                                   frag_payload_);
+  msg.data = std::move(message);
+  std::uint64_t msg_id = next_msg_id_++;
+  for (std::uint32_t i = 0; i < msg.frag_count; ++i) broadcast_fragment(msg, msg_id, i);
+  ++stats_.messages_sent;
+  sent_[msg_id] = std::move(msg);
+  // Hold the buffer long enough for repair requests, then let it go.
+  engine_.schedule_weak(config_.sender_hold, [this, msg_id] { sent_.erase(msg_id); });
+}
+
+void EthMcastEndpoint::broadcast_fragment(const OutMessage& msg, std::uint64_t msg_id,
+                                          std::uint32_t index) {
+  McastDataPacket p;
+  p.group = group_;
+  p.msg_id = msg_id;
+  p.frag_index = index;
+  p.frag_count = msg.frag_count;
+  p.total_len = static_cast<std::uint32_t>(msg.data.size());
+  std::size_t begin = static_cast<std::size_t>(index) * msg.frag_size;
+  std::size_t end = std::min(msg.data.size(), begin + msg.frag_size);
+  if (begin < end) p.payload.assign(msg.data.begin() + begin, msg.data.begin() + end);
+  ++stats_.fragments_broadcast;
+  auto r = host_.broadcast(network_, port_, encode_mcast_data(port_, p), port_);
+  if (!r) log_.trace("broadcast failed: ", r.error().to_string());
+}
+
+void EthMcastEndpoint::on_packet(const simnet::Packet& packet) {
+  auto head = decode_head(packet.payload);
+  if (!head) return;
+
+  if (head.value().type == PacketType::mnack) {
+    auto p = decode_mcast_nack(packet.payload);
+    if (!p || p.value().group != group_) return;
+    auto it = sent_.find(p.value().msg_id);
+    if (it == sent_.end()) return;  // repair window closed
+    for (std::uint32_t index : p.value().missing) {
+      if (index >= it->second.frag_count) continue;
+      broadcast_fragment(it->second, p.value().msg_id, index);
+      ++stats_.repairs_sent;
+    }
+    return;
+  }
+  if (head.value().type != PacketType::mdata) return;
+  auto decoded = decode_mcast_data(packet.payload);
+  if (!decoded || decoded.value().group != group_) return;
+  const McastDataPacket& p = decoded.value();
+  simnet::Address sender{packet.src.host, head.value().src_port};
+
+  if (delivered_up_to_[sender.host] >= p.msg_id) return;  // already delivered
+
+  auto key = std::make_pair(sender.host, p.msg_id);
+  auto [it, inserted] = in_.try_emplace(key);
+  InMessage& msg = it->second;
+  if (inserted) {
+    msg.frag_count = p.frag_count;
+    msg.total_len = p.total_len;
+    msg.frags.resize(p.frag_count);
+    msg.have = make_bitmap(p.frag_count);
+  }
+  if (!bitmap_get(msg.have, p.frag_index)) {
+    bitmap_set(msg.have, p.frag_index);
+    msg.frags[p.frag_index] = p.payload;
+    ++msg.have_count;
+  }
+
+  if (msg.have_count == msg.frag_count) {
+    Bytes assembled;
+    assembled.reserve(msg.total_len);
+    for (auto& frag : msg.frags) assembled.insert(assembled.end(), frag.begin(), frag.end());
+    engine_.cancel(msg.nack_timer);
+    in_.erase(it);
+    delivered_up_to_[sender.host] = p.msg_id;
+    ++stats_.messages_delivered;
+    if (handler_) handler_(sender, std::move(assembled));
+    return;
+  }
+  // Hole detected (fragment beyond the first missing one arrived)?  Arm a
+  // short NACK; otherwise rely on the periodic retry.
+  bool gap = false;
+  for (std::uint32_t i = 0; i < p.frag_index; ++i)
+    if (!bitmap_get(msg.have, i)) {
+      gap = true;
+      break;
+    }
+  if (!msg.nack_timer.valid())
+    schedule_nack(sender, p.msg_id, gap ? config_.nack_delay : config_.nack_retry);
+}
+
+void EthMcastEndpoint::schedule_nack(const simnet::Address& sender, std::uint64_t msg_id,
+                                     SimDuration delay) {
+  auto key = std::make_pair(sender.host, msg_id);
+  auto it = in_.find(key);
+  if (it == in_.end()) return;
+  it->second.nack_timer = engine_.schedule(delay, [this, sender, msg_id] {
+    auto key = std::make_pair(sender.host, msg_id);
+    auto it = in_.find(key);
+    if (it == in_.end()) return;
+    InMessage& msg = it->second;
+    msg.nack_timer = simnet::TimerId{};
+    McastNackPacket nack;
+    nack.group = group_;
+    nack.msg_id = msg_id;
+    for (std::uint32_t i = 0; i < msg.frag_count; ++i)
+      if (!bitmap_get(msg.have, i)) nack.missing.push_back(i);
+    if (nack.missing.empty()) return;
+    ++stats_.nacks_sent;
+    simnet::SendOptions opts;
+    opts.src_port = port_;
+    opts.preferred_network = network_;
+    auto r = host_.send(sender, encode_mcast_nack(port_, nack), opts);
+    if (!r) log_.trace("nack failed: ", r.error().to_string());
+    schedule_nack(sender, msg_id, config_.nack_retry);
+  });
+}
+
+}  // namespace snipe::transport

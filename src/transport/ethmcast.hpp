@@ -1,0 +1,89 @@
+// The "experimental multicast protocol for ethernet" (§6).
+//
+// Distinct from §5.4's router-based wide-area multicast (which lives in
+// snipe_core), this is the high-performance single-segment protocol the
+// paper says was tested: the sender broadcasts fragments once on the shared
+// medium; each receiver that detects a hole unicasts a NACK listing the
+// missing fragments; the sender re-broadcasts just those.  One transmission
+// serves every receiver, so goodput is nearly independent of group size —
+// the property bench_multicast compares against unicast fan-out.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "simnet/world.hpp"
+#include "transport/wire.hpp"
+#include "util/log.hpp"
+
+namespace snipe::transport {
+
+struct EthMcastConfig {
+  SimDuration nack_delay = duration::microseconds(500);  ///< gap -> NACK
+  SimDuration nack_retry = duration::milliseconds(20);   ///< while incomplete
+  SimDuration sender_hold = duration::seconds(5);  ///< keep data for repairs
+};
+
+struct EthMcastStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t fragments_broadcast = 0;
+  std::uint64_t repairs_sent = 0;
+  std::uint64_t nacks_sent = 0;
+};
+
+/// One endpoint of the Ethernet multicast protocol: both a sender and a
+/// receiver for a given (network segment, group, port).
+class EthMcastEndpoint {
+ public:
+  using MessageHandler =
+      std::function<void(const simnet::Address& src, Bytes message)>;
+
+  EthMcastEndpoint(simnet::Host& host, const std::string& network, const std::string& group,
+                   std::uint16_t port, EthMcastConfig config = {});
+  ~EthMcastEndpoint();
+
+  /// Broadcasts `message` to every other endpoint of this group on the
+  /// segment.  Reliability is NACK-driven.
+  void send(Bytes message);
+  void set_handler(MessageHandler handler) { handler_ = std::move(handler); }
+
+  const EthMcastStats& stats() const { return stats_; }
+
+ private:
+  struct OutMessage {
+    Bytes data;
+    std::uint32_t frag_count = 0;
+    std::size_t frag_size = 0;
+  };
+  struct InMessage {
+    std::vector<Bytes> frags;
+    Bytes have;
+    std::uint32_t have_count = 0;
+    std::uint32_t frag_count = 0;
+    std::uint32_t total_len = 0;
+    simnet::TimerId nack_timer;
+  };
+
+  void on_packet(const simnet::Packet& packet);
+  void broadcast_fragment(const OutMessage& msg, std::uint64_t msg_id, std::uint32_t index);
+  void schedule_nack(const simnet::Address& sender, std::uint64_t msg_id, SimDuration delay);
+
+  simnet::Host& host_;
+  simnet::Engine& engine_;
+  std::string network_;
+  std::string group_;
+  std::uint16_t port_;
+  EthMcastConfig config_;
+  std::size_t frag_payload_;
+  MessageHandler handler_;
+  std::uint64_t next_msg_id_ = 1;
+  std::map<std::uint64_t, OutMessage> sent_;  ///< held for repair requests
+  std::map<std::pair<std::string, std::uint64_t>, InMessage> in_;  ///< by (sender, id)
+  std::map<std::string, std::uint64_t> delivered_up_to_;
+  EthMcastStats stats_;
+  Logger log_;
+};
+
+}  // namespace snipe::transport

@@ -1,0 +1,38 @@
+// Tagged application messages.
+//
+// The SNIPE client library presents PVM-style tagged messages (§3.4): a
+// small integer tag for dispatch plus an XDR-encoded body.  Components
+// above the transport exchange TaggedMessage values; the tag spaces of the
+// daemon, RC server, RM and user applications are disjoint by convention
+// (see each component's header).
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+
+namespace snipe::transport {
+
+struct TaggedMessage {
+  std::uint32_t tag = 0;
+  Bytes body;
+
+  Bytes encode() const {
+    ByteWriter w;
+    w.u32(tag);
+    w.blob(body);
+    return std::move(w).take();
+  }
+
+  static Result<TaggedMessage> decode(const Bytes& wire) {
+    ByteReader r(wire);
+    auto tag = r.u32();
+    if (!tag) return tag.error();
+    auto body = r.blob();
+    if (!body) return body.error();
+    return TaggedMessage{tag.value(), std::move(body).take()};
+  }
+};
+
+}  // namespace snipe::transport

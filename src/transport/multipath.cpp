@@ -1,0 +1,56 @@
+#include "transport/multipath.hpp"
+
+#include <algorithm>
+
+namespace snipe::transport {
+
+bool MultipathPolicy::on_timeout(simnet::Host& host) {
+  ++consecutive_timeouts_;
+  if (consecutive_timeouts_ < failover_threshold_) return false;
+  consecutive_timeouts_ = 0;
+
+  std::vector<std::string> ups = host.up_networks();
+  if (ups.empty()) return false;
+  std::sort(ups.begin(), ups.end());
+
+  std::string next;
+  if (preferred_.empty()) {
+    // We were on the default (fastest) route; any explicit alternative that
+    // differs from what simnet would pick is fine — take the first, and if
+    // there is only one network there is nowhere to go.
+    if (ups.size() < 2) return false;
+    // The fastest network is simnet's default; prefer the *other* one so
+    // the switch actually changes the path.  Rank by effective bandwidth.
+    auto* fastest_nic = host.nic_on(ups[0]);
+    std::string fastest = ups[0];
+    double best = 0;
+    for (const auto& name : ups) {
+      auto* nic = host.nic_on(name);
+      const auto& m = nic->network()->model();
+      double rate = m.bandwidth_bps * (1.0 - m.cell_tax);
+      if (rate > best) {
+        best = rate;
+        fastest = name;
+      }
+    }
+    (void)fastest_nic;
+    for (const auto& name : ups) {
+      if (name != fastest) {
+        next = name;
+        break;
+      }
+    }
+    if (next.empty()) return false;
+  } else {
+    // Rotate to the next up network after the current preference.
+    auto it = std::find(ups.begin(), ups.end(), preferred_);
+    std::size_t start = it == ups.end() ? 0 : (it - ups.begin() + 1) % ups.size();
+    next = ups[start];
+    if (next == preferred_) return false;
+  }
+  preferred_ = next;
+  ++switches_;
+  return true;
+}
+
+}  // namespace snipe::transport

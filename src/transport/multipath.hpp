@@ -1,0 +1,51 @@
+// Multi-path route management (§3.4, §6).
+//
+// "The system also provided the ability to switch routes/interfaces as
+//  links failed without user applications intervention."
+//
+// Each endpoint keeps one MultipathPolicy per peer.  The policy starts on
+// the fastest shared network (that choice is simnet's, per §5.3) and reacts
+// to evidence of failure — consecutive retransmission timeouts — by
+// rotating the preferred interface among the local host's up networks.
+// Successful acknowledgements reset the failure count and pin the current
+// route.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simnet/world.hpp"
+
+namespace snipe::transport {
+
+class MultipathPolicy {
+ public:
+  /// `failover_threshold`: consecutive timeouts on one route before
+  /// switching.  The paper's module switched automatically; 2 keeps the
+  /// reaction fast without flapping on a single lost status packet.
+  explicit MultipathPolicy(int failover_threshold = 2)
+      : failover_threshold_(failover_threshold) {}
+
+  /// The network to prefer right now ("" = let simnet pick the fastest).
+  const std::string& preferred() const { return preferred_; }
+
+  /// Record a successful round trip on the current route.
+  void on_success() { consecutive_timeouts_ = 0; }
+
+  /// Record a retransmission timeout.  When the threshold is reached the
+  /// policy rotates to the next up network on `host` (wrapping, skipping
+  /// the current one).  Returns true if the route changed.
+  bool on_timeout(simnet::Host& host);
+
+  /// Number of route switches performed (exposed for tests/benches).
+  int switches() const { return switches_; }
+
+ private:
+  std::string preferred_;
+  int consecutive_timeouts_ = 0;
+  int failover_threshold_;
+  int switches_ = 0;
+};
+
+}  // namespace snipe::transport

@@ -1,0 +1,166 @@
+#include "transport/rpc.hpp"
+
+namespace snipe::transport {
+
+RpcEndpoint::RpcEndpoint(simnet::Host& host, std::uint16_t port, RpcConfig config)
+    : srudp_(host, port, config.srudp),
+      engine_(host.world()->engine()),
+      config_(std::move(config)),
+      log_("rpc@" + host.name() + ":" + std::to_string(srudp_.port())) {
+  srudp_.set_handler([this](const simnet::Address& src, Bytes msg) {
+    on_message(src, std::move(msg));
+  });
+}
+
+Bytes RpcEndpoint::authenticator(const Bytes& payload) const {
+  if (config_.shared_secret.empty()) return {};
+  Bytes keyed = to_bytes(config_.shared_secret);
+  keyed.insert(keyed.end(), payload.begin(), payload.end());
+  auto digest = crypto::md5(keyed);
+  return Bytes(digest.begin(), digest.end());
+}
+
+void RpcEndpoint::call(const simnet::Address& dst, std::uint32_t tag, Bytes body,
+                       ResponseHandler done, SimDuration timeout) {
+  if (timeout <= 0) timeout = config_.default_timeout;
+  std::uint64_t id = next_call_id_++;
+
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(Kind::request));
+  w.u64(id);
+  w.u32(tag);
+  w.blob(body);
+  w.blob(authenticator(body));
+
+  ++stats_.calls_sent;
+  auto timer = engine_.schedule(timeout, [this, id, dst, tag] {
+    auto it = pending_.find(id);
+    if (it == pending_.end()) return;
+    auto handler = std::move(it->second.done);
+    pending_.erase(it);
+    ++stats_.calls_timeout;
+    handler(Error{Errc::timeout, "rpc tag " + std::to_string(tag) + " to " + dst.to_string()});
+  });
+  pending_[id] = PendingCall{std::move(done), timer};
+  srudp_.send(dst, std::move(w).take());
+}
+
+void RpcEndpoint::notify(const simnet::Address& dst, std::uint32_t tag, Bytes body) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(Kind::oneway));
+  w.u64(0);
+  w.u32(tag);
+  w.blob(body);
+  w.blob(authenticator(body));
+  ++stats_.notifications_sent;
+  srudp_.send(dst, std::move(w).take());
+}
+
+void RpcEndpoint::send_reply(const simnet::Address& src, std::uint64_t id, std::uint32_t tag,
+                             const Result<Bytes>& result) {
+  ByteWriter w;
+  if (result.ok()) {
+    w.u8(static_cast<std::uint8_t>(Kind::response));
+    w.u64(id);
+    w.u32(tag);
+    w.blob(result.value());
+  } else {
+    w.u8(static_cast<std::uint8_t>(Kind::error));
+    w.u64(id);
+    w.u32(tag);
+    ByteWriter e;
+    e.u8(static_cast<std::uint8_t>(result.error().code));
+    e.str(result.error().message);
+    w.blob(e.bytes());
+  }
+  srudp_.send(src, std::move(w).take());
+}
+
+void RpcEndpoint::on_message(const simnet::Address& src, Bytes msg) {
+  ByteReader r(msg);
+  auto kind_raw = r.u8();
+  auto id = r.u64();
+  auto tag = r.u32();
+  auto body = r.blob();
+  if (!kind_raw || !id || !tag || !body) {
+    log_.warn("malformed rpc message from ", src.to_string());
+    return;
+  }
+  Kind kind = static_cast<Kind>(kind_raw.value());
+
+  if (kind == Kind::request || kind == Kind::oneway) {
+    auto auth = r.blob();
+    if (!auth) return;
+    if (!config_.shared_secret.empty() && auth.value() != authenticator(body.value())) {
+      ++stats_.requests_rejected_auth;
+      log_.warn("rejecting request from ", src.to_string(), ": bad authenticator");
+      if (kind == Kind::request) {
+        ByteWriter w;
+        w.u8(static_cast<std::uint8_t>(Kind::error));
+        w.u64(id.value());
+        w.u32(tag.value());
+        ByteWriter e;
+        e.u8(static_cast<std::uint8_t>(Errc::permission_denied));
+        e.str("bad authenticator");
+        w.blob(e.bytes());
+        srudp_.send(src, std::move(w).take());
+      }
+      return;
+    }
+    if (kind == Kind::oneway) {
+      ++stats_.notifications_received;
+      auto it = notify_handlers_.find(tag.value());
+      if (it != notify_handlers_.end()) {
+        it->second(src, body.value());
+      } else if (default_notify_) {
+        default_notify_(src, tag.value(), body.value());
+      }
+      return;
+    }
+    ++stats_.requests_served;
+    if (auto ait = async_handlers_.find(tag.value()); ait != async_handlers_.end()) {
+      std::uint64_t req_id = id.value();
+      std::uint32_t req_tag = tag.value();
+      ait->second(src, body.value(), [this, src, req_id, req_tag](Result<Bytes> result) {
+        send_reply(src, req_id, req_tag, result);
+      });
+      return;
+    }
+    auto it = handlers_.find(tag.value());
+    if (it == handlers_.end() && default_handler_) {
+      std::uint64_t req_id = id.value();
+      std::uint32_t req_tag = tag.value();
+      default_handler_(src, req_tag, body.value(),
+                       [this, src, req_id, req_tag](Result<Bytes> result) {
+                         send_reply(src, req_id, req_tag, result);
+                       });
+      return;
+    }
+    Result<Bytes> result =
+        it == handlers_.end()
+            ? Result<Bytes>(Errc::not_found, "no handler for tag " + std::to_string(tag.value()))
+            : it->second(src, body.value());
+    send_reply(src, id.value(), tag.value(), result);
+    return;
+  }
+
+  // Response or error to one of our calls.
+  auto it = pending_.find(id.value());
+  if (it == pending_.end()) return;  // late response after timeout
+  engine_.cancel(it->second.timeout);
+  auto handler = std::move(it->second.done);
+  pending_.erase(it);
+  if (kind == Kind::response) {
+    ++stats_.calls_ok;
+    handler(std::move(body).take());
+  } else {
+    ++stats_.calls_error;
+    ByteReader er(body.value());
+    auto code = er.u8();
+    auto text = er.str();
+    handler(Error{code ? static_cast<Errc>(code.value()) : Errc::corrupt,
+                  text ? text.value() : "malformed error"});
+  }
+}
+
+}  // namespace snipe::transport

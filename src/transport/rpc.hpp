@@ -1,0 +1,139 @@
+// Request/response messaging over SRUDP.
+//
+// The RC servers used SUN RPC (§6); the SNIPE daemons, resource managers
+// and file servers all follow the same request/response pattern.  This
+// endpoint multiplexes tagged requests over one SrudpEndpoint, matches
+// responses by id, applies per-call deadlines, and optionally stamps each
+// request with the MD5 shared-secret authenticator the 1998 RC servers
+// used ("authentication based on MD5 hashed shared secrets").
+//
+// All completion is callback-based: there is no blocking in a discrete-
+// event simulation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "crypto/hash.hpp"
+#include "transport/srudp.hpp"
+
+namespace snipe::transport {
+
+struct RpcConfig {
+  SimDuration default_timeout = duration::seconds(5);
+  /// If nonempty, requests carry (and servers require) an MD5 authenticator
+  /// keyed with this secret.
+  std::string shared_secret;
+  SrudpConfig srudp;
+};
+
+struct RpcStats {
+  std::uint64_t calls_sent = 0;
+  std::uint64_t calls_ok = 0;
+  std::uint64_t calls_timeout = 0;
+  std::uint64_t calls_error = 0;
+  std::uint64_t requests_served = 0;
+  std::uint64_t requests_rejected_auth = 0;
+  std::uint64_t notifications_sent = 0;
+  std::uint64_t notifications_received = 0;
+};
+
+class RpcEndpoint {
+ public:
+  using ResponseHandler = std::function<void(Result<Bytes>)>;
+  /// Server-side handler: return the response body or an Error that is
+  /// propagated to the caller.
+  using RequestHandler =
+      std::function<Result<Bytes>(const simnet::Address& from, const Bytes& body)>;
+  /// Deferred-response variant: the handler must eventually invoke the
+  /// responder exactly once.  Used when serving needs further network round
+  /// trips (e.g. a daemon fetching mobile code before answering a spawn).
+  using Responder = std::function<void(Result<Bytes>)>;
+  using AsyncRequestHandler =
+      std::function<void(const simnet::Address& from, const Bytes& body, Responder respond)>;
+  /// One-way notification handler.
+  using NotifyHandler =
+      std::function<void(const simnet::Address& from, const Bytes& body)>;
+
+  RpcEndpoint(simnet::Host& host, std::uint16_t port, RpcConfig config = {});
+
+  /// Registers the handler for request tag `tag` (replacing any previous).
+  void serve(std::uint32_t tag, RequestHandler handler) { handlers_[tag] = std::move(handler); }
+  /// Registers a deferred-response handler for `tag`.
+  void serve_async(std::uint32_t tag, AsyncRequestHandler handler) {
+    async_handlers_[tag] = std::move(handler);
+  }
+
+  /// Catch-all for requests with no registered handler; used by migration
+  /// relays (§5.6) to proxy *any* request to the process's new location.
+  using DefaultRequestHandler = std::function<void(
+      const simnet::Address& from, std::uint32_t tag, const Bytes& body, Responder respond)>;
+  using DefaultNotifyHandler = std::function<void(const simnet::Address& from,
+                                                  std::uint32_t tag, const Bytes& body)>;
+  void serve_default(DefaultRequestHandler handler) { default_handler_ = std::move(handler); }
+  void on_notify_default(DefaultNotifyHandler handler) {
+    default_notify_ = std::move(handler);
+  }
+
+  /// Takes over every handler registration from `other` (which is left
+  /// with none).  A migrating process moves its service surface to the new
+  /// endpoint this way; the captured lambdas keep pointing at the owning
+  /// component, which survives the move.
+  void adopt_handlers(RpcEndpoint& other) {
+    handlers_ = std::move(other.handlers_);
+    async_handlers_ = std::move(other.async_handlers_);
+    notify_handlers_ = std::move(other.notify_handlers_);
+    other.handlers_.clear();
+    other.async_handlers_.clear();
+    other.notify_handlers_.clear();
+    other.default_handler_ = nullptr;
+    other.default_notify_ = nullptr;
+  }
+  /// Registers a handler for one-way notifications with tag `tag`.
+  void on_notify(std::uint32_t tag, NotifyHandler handler) {
+    notify_handlers_[tag] = std::move(handler);
+  }
+
+  /// Issues a request; `done` fires exactly once with the response body,
+  /// a server-reported error, or Errc::timeout.
+  void call(const simnet::Address& dst, std::uint32_t tag, Bytes body, ResponseHandler done,
+            SimDuration timeout = 0);
+
+  /// Fire-and-forget (still reliably transported) notification.
+  void notify(const simnet::Address& dst, std::uint32_t tag, Bytes body);
+
+  simnet::Address address() const { return srudp_.address(); }
+  simnet::Host& host() { return srudp_.host(); }
+  simnet::Engine& engine() { return engine_; }
+  SrudpEndpoint& srudp() { return srudp_; }
+  const RpcStats& stats() const { return stats_; }
+
+ private:
+  enum class Kind : std::uint8_t { request = 1, response = 2, error = 3, oneway = 4 };
+
+  void on_message(const simnet::Address& src, Bytes msg);
+  void send_reply(const simnet::Address& src, std::uint64_t id, std::uint32_t tag,
+                  const Result<Bytes>& result);
+  Bytes authenticator(const Bytes& payload) const;
+
+  SrudpEndpoint srudp_;
+  simnet::Engine& engine_;
+  RpcConfig config_;
+  std::map<std::uint32_t, RequestHandler> handlers_;
+  std::map<std::uint32_t, AsyncRequestHandler> async_handlers_;
+  std::map<std::uint32_t, NotifyHandler> notify_handlers_;
+  DefaultRequestHandler default_handler_;
+  DefaultNotifyHandler default_notify_;
+  struct PendingCall {
+    ResponseHandler done;
+    simnet::TimerId timeout;
+  };
+  std::map<std::uint64_t, PendingCall> pending_;
+  std::uint64_t next_call_id_ = 1;
+  RpcStats stats_;
+  Logger log_;
+};
+
+}  // namespace snipe::transport

@@ -1,0 +1,196 @@
+// SRUDP: SNIPE's selective re-send datagram protocol (§6).
+//
+// The 1998 comms module "supported a selective re-send UDP protocol as well
+// as TCP/IP", buffered messages so "migrating or temporarily unavailable
+// tasks did not result in lost messages", and could "switch
+// routes/interfaces as links failed without user applications
+// intervention".  SrudpEndpoint reproduces all three properties:
+//
+//  * Messages of any size are fragmented to the smallest MTU among the
+//    host's interfaces and reassembled at the receiver.
+//  * Reliability is receiver-driven and *selective*: the receiver reports a
+//    fragment bitmap (STATUS) when it sees gaps or is probed; the sender
+//    retransmits exactly the missing fragments.  A whole-message MSG_ACK
+//    retires the send buffer.  This is the design difference from TCP's
+//    cumulative-ACK stream that Fig. 1 quantifies.
+//  * No connection handshake: the first data fragment can carry payload,
+//    so short messages complete in a single round trip.
+//  * Messages are buffered and retransmitted until acknowledged or their
+//    TTL expires, so a receiver that is briefly down (rebooting, migrating)
+//    gets them on return.
+//  * Per-peer MultipathPolicy rotates interfaces after repeated timeouts.
+//
+// Delivery is in-order per (sender, receiver) endpoint pair, matching the
+// PVM message-passing semantics SNIPE inherited; a head-of-line gap left by
+// an expired message is skipped after `hol_skip`.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "simnet/world.hpp"
+#include "transport/multipath.hpp"
+#include "transport/wire.hpp"
+#include "util/log.hpp"
+
+namespace snipe::transport {
+
+struct SrudpConfig {
+  std::size_t window = 128;  ///< max unacked fragments in flight per peer
+  SimDuration initial_rto = duration::milliseconds(50);
+  SimDuration min_rto = duration::milliseconds(2);
+  SimDuration max_rto = duration::seconds(2);
+  /// Receiver: delay between noticing a gap and sending a STATUS, letting
+  /// slightly-reordered fragments land first.
+  SimDuration gap_status_delay = duration::milliseconds(1);
+  /// Receiver: periodic STATUS interval for incomplete messages (doubles
+  /// each repetition up to 1 s).
+  SimDuration status_interval = duration::milliseconds(20);
+  /// Receiver: also push a STATUS every N fragments of a large message so
+  /// the sender's window keeps sliding without waiting for gaps.
+  std::uint32_t status_every = 32;
+  /// Sender: how long to keep retrying an unacknowledged message.  This is
+  /// the "system buffering" that protects migrating/rebooting receivers.
+  SimDuration msg_ttl = duration::seconds(30);
+  /// Receiver: head-of-line gap skip (only reached if a sender expired a
+  /// message or died mid-send).
+  SimDuration hol_skip = duration::seconds(10);
+  /// Receiver: drop a partially-received message if no new fragment arrives
+  /// for this long (the sender evidently gave up or died).
+  SimDuration partial_ttl = duration::seconds(60);
+  int failover_threshold = 2;  ///< consecutive RTOs before switching routes
+};
+
+struct SrudpStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_expired = 0;   ///< sender gave up (TTL)
+  std::uint64_t messages_skipped = 0;   ///< receiver skipped a HOL gap
+  std::uint64_t fragments_sent = 0;
+  std::uint64_t fragments_retransmitted = 0;
+  std::uint64_t duplicate_fragments = 0;
+  std::uint64_t status_sent = 0;
+  std::uint64_t rto_events = 0;
+  std::uint64_t bytes_delivered = 0;
+  int route_switches = 0;
+};
+
+/// A reliable, message-oriented endpoint bound to one (host, port).
+class SrudpEndpoint {
+ public:
+  using MessageHandler =
+      std::function<void(const simnet::Address& src, Bytes message)>;
+
+  /// Binds `port` on `host` (0 picks an ephemeral port).  Asserts that the
+  /// port was free.
+  SrudpEndpoint(simnet::Host& host, std::uint16_t port, SrudpConfig config = {});
+  ~SrudpEndpoint();
+
+  SrudpEndpoint(const SrudpEndpoint&) = delete;
+  SrudpEndpoint& operator=(const SrudpEndpoint&) = delete;
+
+  /// Queues `message` for reliable in-order delivery to `dst` (another
+  /// SrudpEndpoint's address).  Returns the message id, which increases per
+  /// destination.  Never blocks; failure surfaces as expiry in stats.
+  std::uint64_t send(const simnet::Address& dst, Bytes message);
+
+  /// Installs the delivery callback.
+  void set_handler(MessageHandler handler) { handler_ = std::move(handler); }
+
+  std::uint16_t port() const { return port_; }
+  simnet::Address address() const { return {host_.name(), port_}; }
+  simnet::Host& host() { return host_; }
+
+  /// Unacknowledged messages still buffered across all peers; a migrating
+  /// process drains this to zero before moving (§5.6's no-loss guarantee).
+  std::size_t pending() const;
+
+  const SrudpStats& stats() const { return stats_; }
+  const SrudpConfig& config() const { return config_; }
+
+ private:
+  struct OutMessage {
+    std::uint64_t msg_id = 0;
+    Bytes data;
+    std::uint32_t frag_count = 0;
+    std::size_t frag_size = 0;
+    Bytes acked;                    ///< bitmap of fragments the peer has
+    std::uint32_t acked_count = 0;
+    std::uint32_t next_unsent = 0;  ///< first never-transmitted fragment
+    std::deque<std::uint32_t> retransmit;  ///< fragments requested again
+    SimTime first_sent = -1;
+    SimTime deadline = 0;
+    bool retransmitted = false;  ///< poisons the RTT sample (Karn's rule)
+    bool implied_retx = false;   ///< one implied-loss resend already queued
+  };
+
+  struct PeerOut {
+    std::uint64_t next_msg_id = 1;
+    std::deque<OutMessage> queue;
+    std::size_t inflight = 0;  ///< fragments sent and not known received
+    SimDuration srtt = 0;
+    SimDuration rttvar = 0;
+    SimDuration rto;
+    simnet::TimerId rto_timer;
+    MultipathPolicy path;
+  };
+
+  struct InMessage {
+    std::vector<Bytes> frags;
+    Bytes have;  ///< bitmap
+    std::uint32_t have_count = 0;
+    std::uint32_t frag_count = 0;
+    std::uint32_t total_len = 0;
+    std::uint32_t since_status = 0;
+    simnet::TimerId status_timer;
+    SimDuration status_backoff = 0;
+    SimTime last_progress = 0;
+    SimTime last_status_sent = -1;
+  };
+
+  struct PeerIn {
+    std::uint64_t next_deliver = 1;
+    std::map<std::uint64_t, InMessage> partial;
+    std::map<std::uint64_t, Bytes> complete;  ///< awaiting in-order delivery
+    simnet::TimerId hol_timer;
+    SimTime hol_since = -1;
+  };
+
+  void on_packet(const simnet::Packet& packet);
+  void on_data(const simnet::Address& peer, const DataPacket& p);
+  void on_status(const simnet::Address& peer, const StatusPacket& p);
+  void on_msg_ack(const simnet::Address& peer, std::uint64_t msg_id);
+  void on_probe(const simnet::Address& peer, std::uint64_t msg_id);
+
+  /// Sends fragments for `peer` while the window has room.
+  void pump(const simnet::Address& peer);
+  void send_fragment(const simnet::Address& peer, PeerOut& out, OutMessage& msg,
+                     std::uint32_t index, bool retransmission);
+  void arm_rto(const simnet::Address& peer);
+  void on_rto(const simnet::Address& peer);
+  void expire_head(const simnet::Address& peer, PeerOut& out);
+
+  void send_status(const simnet::Address& peer, std::uint64_t msg_id, const InMessage& msg);
+  void schedule_status(const simnet::Address& peer, std::uint64_t msg_id,
+                       SimDuration delay);
+  void try_deliver(const simnet::Address& peer);
+  void arm_hol_skip(const simnet::Address& peer);
+
+  void raw_send(const simnet::Address& peer, PeerOut* out, Bytes wire);
+
+  simnet::Host& host_;
+  simnet::Engine& engine_;
+  std::uint16_t port_;
+  SrudpConfig config_;
+  std::size_t frag_payload_;  ///< min over attached NICs' MTU - header
+  MessageHandler handler_;
+  std::map<simnet::Address, PeerOut> out_;
+  std::map<simnet::Address, PeerIn> in_;
+  SrudpStats stats_;
+  Logger log_;
+};
+
+}  // namespace snipe::transport

@@ -1,0 +1,327 @@
+#include "transport/stream.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace snipe::transport {
+
+// ---------- StreamEndpoint ----------
+
+StreamEndpoint::StreamEndpoint(simnet::Host& host, std::uint16_t port, StreamConfig config)
+    : host_(host),
+      engine_(host.world()->engine()),
+      port_(port == 0 ? host.ephemeral_port() : port),
+      config_(config),
+      log_("stream@" + host.name() + ":" + std::to_string(port_)) {
+  host_.bind(port_, [this](const simnet::Packet& p) { on_packet(p); }).value();
+}
+
+StreamEndpoint::~StreamEndpoint() {
+  host_.unbind(port_);
+  for (auto& [key, conn] : connections_) {
+    engine_.cancel(conn->rto_timer_);
+    conn->state_ = StreamConnection::State::closed;
+    conn->endpoint_ = nullptr;
+  }
+}
+
+std::shared_ptr<StreamConnection> StreamEndpoint::connect(const simnet::Address& dst) {
+  std::uint32_t conn_id = next_conn_id_++;
+  auto conn = std::shared_ptr<StreamConnection>(
+      new StreamConnection(this, dst, conn_id, /*initiator=*/true));
+  connections_[{dst, conn_id}] = conn;
+  conn->start_connect();
+  return conn;
+}
+
+void StreamEndpoint::on_packet(const simnet::Packet& packet) {
+  auto head = decode_head(packet.payload);
+  if (!head) return;
+  auto type = head.value().type;
+  if (type != PacketType::syn && type != PacketType::syn_ack && type != PacketType::ack &&
+      type != PacketType::seg && type != PacketType::fin && type != PacketType::rst)
+    return;
+  auto p = decode_stream(packet.payload);
+  if (!p) return;
+  simnet::Address peer{packet.src.host, head.value().src_port};
+  auto key = std::make_pair(peer, p.value().conn_id);
+  auto it = connections_.find(key);
+  if (it == connections_.end()) {
+    if (type != PacketType::syn) return;  // stray packet for a dead conn
+    auto conn = std::shared_ptr<StreamConnection>(
+        new StreamConnection(this, peer, p.value().conn_id, /*initiator=*/false));
+    connections_[key] = conn;
+    conn->state_ = StreamConnection::State::syn_received;
+    conn->rcv_nxt = 0;
+    conn->peer_window_ = p.value().window;
+    conn->send_control(PacketType::syn_ack);
+    if (on_accept_) on_accept_(conn);
+    return;
+  }
+  it->second->on_packet(type, p.value());
+}
+
+void StreamEndpoint::raw_send(const simnet::Address& dst, Bytes wire) {
+  simnet::SendOptions opts;
+  opts.src_port = port_;
+  auto r = host_.send(dst, std::move(wire), opts);
+  if (!r) log_.trace("send failed: ", r.error().to_string());
+}
+
+// ---------- StreamConnection ----------
+
+StreamConnection::StreamConnection(StreamEndpoint* endpoint, simnet::Address peer,
+                                   std::uint32_t conn_id, bool initiator)
+    : endpoint_(endpoint), peer_(std::move(peer)), conn_id_(conn_id), initiator_(initiator) {
+  const auto& cfg = endpoint_->config();
+  rto_ = cfg.initial_rto;
+  peer_window_ = cfg.rwnd;
+  cwnd = static_cast<double>(cfg.initial_cwnd_segments) * static_cast<double>(mss());
+  ssthresh = static_cast<double>(cfg.rwnd);
+}
+
+std::size_t StreamConnection::mss() const {
+  std::size_t budget = 65535;
+  for (const auto& nic : endpoint_->host().nics())
+    budget = std::min(budget, nic->network()->model().mtu);
+  return budget - kStreamHeaderBytes;
+}
+
+void StreamConnection::start_connect() {
+  state_ = State::syn_sent;
+  send_control(PacketType::syn);
+  arm_rto();
+}
+
+void StreamConnection::send_control(PacketType type) {
+  StreamPacket p;
+  p.conn_id = conn_id_;
+  p.seq = snd_nxt;
+  p.ack = rcv_nxt;
+  p.window = static_cast<std::uint32_t>(endpoint_->config().rwnd);
+  endpoint_->raw_send(peer_, encode_stream(type, endpoint_->port(), p));
+}
+
+void StreamConnection::send_message(const Bytes& message) {
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(message.size()));
+  w.raw(message);
+  for (auto b : w.bytes()) send_buffer_.push_back(b);
+  if (state_ == State::established) pump();
+}
+
+void StreamConnection::pump() {
+  if (state_ != State::established) return;
+  std::uint64_t buffered_end = snd_una + send_buffer_.size();
+  std::uint64_t window_limit =
+      snd_una + std::min<std::uint64_t>(static_cast<std::uint64_t>(cwnd), peer_window_);
+  while (snd_nxt < buffered_end && snd_nxt < window_limit) {
+    std::size_t len = std::min<std::uint64_t>(
+        {static_cast<std::uint64_t>(mss()), buffered_end - snd_nxt, window_limit - snd_nxt});
+    if (len == 0) break;
+    send_segment(snd_nxt, len, /*retransmission=*/false);
+    snd_nxt += len;
+  }
+  if (snd_una < snd_nxt) arm_rto();
+}
+
+void StreamConnection::send_segment(std::uint64_t seq, std::size_t len, bool retransmission) {
+  StreamPacket p;
+  p.conn_id = conn_id_;
+  p.seq = seq;
+  p.ack = rcv_nxt;
+  p.window = static_cast<std::uint32_t>(endpoint_->config().rwnd);
+  p.payload.reserve(len);
+  std::size_t offset = static_cast<std::size_t>(seq - snd_una);
+  for (std::size_t i = 0; i < len; ++i) p.payload.push_back(send_buffer_[offset + i]);
+
+  if (retransmission) {
+    ++stats_.segments_retransmitted;
+    if (rtt_seq_ > seq) rtt_sent_at_ = -1;  // Karn: discard the probe
+  } else if (rtt_sent_at_ < 0) {
+    rtt_seq_ = seq + len;
+    rtt_sent_at_ = endpoint_->engine().now();
+  }
+  ++stats_.segments_sent;
+  stats_.bytes_sent += len;
+  endpoint_->raw_send(peer_, encode_stream(PacketType::seg, endpoint_->port(), p));
+}
+
+void StreamConnection::arm_rto() {
+  if (rto_timer_.valid()) return;
+  rto_timer_ = endpoint_->engine().schedule(rto_, [this] {
+    rto_timer_ = simnet::TimerId{};
+    on_rto();
+  });
+}
+
+void StreamConnection::on_rto() {
+  if (state_ == State::closed || endpoint_ == nullptr) return;
+  if (state_ == State::syn_sent) {
+    send_control(PacketType::syn);
+    rto_ = std::min(rto_ * 2, endpoint_->config().max_rto);
+    arm_rto();
+    return;
+  }
+  if (snd_una == snd_nxt) return;  // everything acked in the meantime
+  ++stats_.rto_events;
+  // Reno on timeout: collapse to one segment and retransmit the hole.
+  ssthresh = std::max(cwnd / 2, 2.0 * static_cast<double>(mss()));
+  cwnd = static_cast<double>(mss());
+  dup_acks_ = 0;
+  std::size_t len =
+      std::min<std::uint64_t>(static_cast<std::uint64_t>(mss()), snd_nxt - snd_una);
+  send_segment(snd_una, len, /*retransmission=*/true);
+  rto_ = std::min(rto_ * 2, endpoint_->config().max_rto);
+  arm_rto();
+}
+
+void StreamConnection::on_packet(PacketType type, const StreamPacket& p) {
+  switch (type) {
+    case PacketType::syn:
+      // Retransmitted SYN for an existing connection: repeat SYN-ACK.
+      if (state_ == State::syn_received) send_control(PacketType::syn_ack);
+      break;
+    case PacketType::syn_ack:
+      if (state_ == State::syn_sent) {
+        state_ = State::established;
+        peer_window_ = p.window;
+        endpoint_->engine().cancel(rto_timer_);
+        rto_timer_ = simnet::TimerId{};
+        rto_ = endpoint_->config().initial_rto;
+        send_control(PacketType::ack);
+        if (on_connect_) on_connect_(ok_result());
+        pump();
+      } else if (state_ == State::established) {
+        send_control(PacketType::ack);  // our ACK was lost
+      }
+      break;
+    case PacketType::ack:
+      if (state_ == State::syn_received) {
+        state_ = State::established;
+        peer_window_ = p.window;
+        pump();
+      } else {
+        on_ack(p);
+      }
+      break;
+    case PacketType::seg:
+      if (state_ == State::syn_received) {
+        // Our SYN-ACK arrived and the peer is already sending: promote.
+        state_ = State::established;
+      }
+      on_data_segment(p);
+      on_ack(p);
+      break;
+    case PacketType::fin:
+      state_ = State::closed;
+      send_control(PacketType::ack);
+      break;
+    case PacketType::rst:
+      state_ = State::closed;
+      break;
+    default:
+      break;
+  }
+}
+
+void StreamConnection::on_data_segment(const StreamPacket& p) {
+  if (p.payload.empty()) return;
+  if (p.seq + p.payload.size() <= rcv_nxt) {
+    send_control(PacketType::ack);  // stale retransmission; re-ack
+    return;
+  }
+  if (p.seq > rcv_nxt) {
+    out_of_order_.emplace(p.seq, p.payload);
+    send_control(PacketType::ack);  // duplicate ack signals the gap
+    return;
+  }
+  // Accept [rcv_nxt, ...) — the segment may partially overlap old data.
+  std::size_t skip = static_cast<std::size_t>(rcv_nxt - p.seq);
+  receive_buffer_.insert(receive_buffer_.end(), p.payload.begin() + skip, p.payload.end());
+  rcv_nxt += p.payload.size() - skip;
+  deliver_contiguous();
+  send_control(PacketType::ack);
+  parse_messages();
+}
+
+void StreamConnection::deliver_contiguous() {
+  while (!out_of_order_.empty()) {
+    auto it = out_of_order_.begin();
+    if (it->first > rcv_nxt) break;
+    const Bytes& seg = it->second;
+    if (it->first + seg.size() > rcv_nxt) {
+      std::size_t skip = static_cast<std::size_t>(rcv_nxt - it->first);
+      receive_buffer_.insert(receive_buffer_.end(), seg.begin() + skip, seg.end());
+      rcv_nxt += seg.size() - skip;
+    }
+    out_of_order_.erase(it);
+  }
+}
+
+void StreamConnection::parse_messages() {
+  while (true) {
+    if (receive_buffer_.size() < 4) return;
+    ByteReader r(receive_buffer_);
+    std::uint32_t len = r.u32().value();
+    if (receive_buffer_.size() < 4u + len) return;
+    Bytes message(receive_buffer_.begin() + 4, receive_buffer_.begin() + 4 + len);
+    receive_buffer_.erase(receive_buffer_.begin(), receive_buffer_.begin() + 4 + len);
+    ++stats_.messages_delivered;
+    stats_.bytes_delivered += message.size();
+    if (on_message_) on_message_(std::move(message));
+  }
+}
+
+void StreamConnection::on_ack(const StreamPacket& p) {
+  if (state_ != State::established) return;
+  peer_window_ = p.window;
+  if (p.ack > snd_una) {
+    std::uint64_t acked = p.ack - snd_una;
+    send_buffer_.erase(send_buffer_.begin(),
+                       send_buffer_.begin() + static_cast<std::ptrdiff_t>(
+                                                  std::min<std::uint64_t>(acked, send_buffer_.size())));
+    snd_una = p.ack;
+    if (snd_nxt < snd_una) snd_nxt = snd_una;
+    dup_acks_ = 0;
+
+    // RTT sample (Karn-filtered).
+    if (rtt_sent_at_ >= 0 && p.ack >= rtt_seq_) {
+      SimDuration sample = endpoint_->engine().now() - rtt_sent_at_;
+      if (srtt_ == 0) {
+        srtt_ = sample;
+        rttvar_ = sample / 2;
+      } else {
+        SimDuration err = sample > srtt_ ? sample - srtt_ : srtt_ - sample;
+        rttvar_ = (3 * rttvar_ + err) / 4;
+        srtt_ = (7 * srtt_ + sample) / 8;
+      }
+      rto_ = std::clamp(srtt_ + 4 * rttvar_, endpoint_->config().min_rto,
+                        endpoint_->config().max_rto);
+      rtt_sent_at_ = -1;
+    }
+
+    // Congestion control: slow start then congestion avoidance.
+    double m = static_cast<double>(mss());
+    if (cwnd < ssthresh)
+      cwnd += m;
+    else
+      cwnd += m * m / cwnd;
+
+    endpoint_->engine().cancel(rto_timer_);
+    rto_timer_ = simnet::TimerId{};
+    if (snd_una < snd_nxt) arm_rto();
+    pump();
+  } else if (p.ack == snd_una && snd_una < snd_nxt) {
+    if (++dup_acks_ == 3) {
+      ++stats_.fast_retransmits;
+      ssthresh = std::max(cwnd / 2, 2.0 * static_cast<double>(mss()));
+      cwnd = ssthresh;
+      std::size_t len =
+          std::min<std::uint64_t>(static_cast<std::uint64_t>(mss()), snd_nxt - snd_una);
+      send_segment(snd_una, len, /*retransmission=*/true);
+    }
+  }
+}
+
+}  // namespace snipe::transport

@@ -1,0 +1,158 @@
+// A TCP-like reliable byte-stream protocol.
+//
+// SNIPE's comms module offered TCP alongside its own selective re-send
+// protocol (§6), and Fig. 1 compares the two on each medium.  To make that
+// comparison on the simulator we implement the relevant TCP mechanics from
+// scratch: three-way handshake, MSS segmentation, cumulative ACKs, sliding
+// window bounded by min(cwnd, receiver window), slow start / congestion
+// avoidance (Reno-style), fast retransmit on three duplicate ACKs, and RTO
+// with exponential backoff.  Messages ride on the stream with a 4-byte
+// length prefix, so both protocols present the same message API to the
+// layers above.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "simnet/world.hpp"
+#include "transport/wire.hpp"
+#include "util/log.hpp"
+
+namespace snipe::transport {
+
+struct StreamConfig {
+  std::size_t rwnd = 256 * 1024;  ///< advertised receive window
+  std::size_t initial_cwnd_segments = 4;
+  SimDuration initial_rto = duration::milliseconds(100);
+  SimDuration min_rto = duration::milliseconds(2);
+  SimDuration max_rto = duration::seconds(4);
+  SimDuration connect_timeout = duration::seconds(10);
+};
+
+struct StreamStats {
+  std::uint64_t segments_sent = 0;
+  std::uint64_t segments_retransmitted = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t bytes_delivered = 0;
+  std::uint64_t rto_events = 0;
+  std::uint64_t fast_retransmits = 0;
+};
+
+class StreamEndpoint;
+
+/// One direction-pair of an established (or establishing) connection.
+class StreamConnection {
+ public:
+  using MessageHandler = std::function<void(Bytes message)>;
+  using ConnectHandler = std::function<void(Result<void>)>;
+
+  /// Queues a length-prefixed message onto the stream.
+  void send_message(const Bytes& message);
+  void set_message_handler(MessageHandler h) { on_message_ = std::move(h); }
+  /// Fires once when the handshake completes (client side).
+  void set_connect_handler(ConnectHandler h) { on_connect_ = std::move(h); }
+
+  bool established() const { return state_ == State::established; }
+  /// Bytes accepted by send_message but not yet cumulatively acked.
+  std::size_t unacked_bytes() const { return send_buffer_.size(); }
+  const simnet::Address& peer() const { return peer_; }
+  const StreamStats& stats() const { return stats_; }
+
+ private:
+  friend class StreamEndpoint;
+  enum class State { syn_sent, syn_received, established, closed };
+
+  StreamConnection(StreamEndpoint* endpoint, simnet::Address peer, std::uint32_t conn_id,
+                   bool initiator);
+
+  void start_connect();
+  void on_packet(PacketType type, const StreamPacket& p);
+  void on_data_segment(const StreamPacket& p);
+  void on_ack(const StreamPacket& p);
+  void pump();
+  void send_segment(std::uint64_t seq, std::size_t len, bool retransmission);
+  void send_control(PacketType type);
+  void arm_rto();
+  void on_rto();
+  void deliver_contiguous();
+  void parse_messages();
+  std::size_t mss() const;
+
+  StreamEndpoint* endpoint_;
+  simnet::Address peer_;
+  std::uint32_t conn_id_;
+  bool initiator_;
+  State state_ = State::closed;
+
+  // --- send side ---
+  std::deque<std::uint8_t> send_buffer_;  ///< bytes [snd_una, end)
+  std::uint64_t snd_una = 0;
+  std::uint64_t snd_nxt = 0;
+  double cwnd = 0;
+  double ssthresh = 0;
+  std::size_t peer_window_ = 0;
+  int dup_acks_ = 0;
+  SimDuration srtt_ = 0;
+  SimDuration rttvar_ = 0;
+  SimDuration rto_ = 0;
+  simnet::TimerId rto_timer_;
+  /// Outstanding RTT probe: (sequence that must be acked, send time).
+  std::uint64_t rtt_seq_ = 0;
+  SimTime rtt_sent_at_ = -1;
+
+  // --- receive side ---
+  std::uint64_t rcv_nxt = 0;
+  std::map<std::uint64_t, Bytes> out_of_order_;
+  Bytes receive_buffer_;  ///< contiguous bytes not yet parsed into messages
+
+  MessageHandler on_message_;
+  ConnectHandler on_connect_;
+  StreamStats stats_;
+};
+
+/// Owns the port and demultiplexes connections, like a socket table.
+class StreamEndpoint {
+ public:
+  using AcceptHandler = std::function<void(std::shared_ptr<StreamConnection>)>;
+
+  StreamEndpoint(simnet::Host& host, std::uint16_t port, StreamConfig config = {});
+  ~StreamEndpoint();
+
+  StreamEndpoint(const StreamEndpoint&) = delete;
+  StreamEndpoint& operator=(const StreamEndpoint&) = delete;
+
+  /// Accepts incoming connections (server role).
+  void listen(AcceptHandler handler) { on_accept_ = std::move(handler); }
+
+  /// Initiates a connection to a listening StreamEndpoint.
+  std::shared_ptr<StreamConnection> connect(const simnet::Address& dst);
+
+  std::uint16_t port() const { return port_; }
+  simnet::Address address() const { return {host_.name(), port_}; }
+  simnet::Host& host() { return host_; }
+  simnet::Engine& engine() { return engine_; }
+  const StreamConfig& config() const { return config_; }
+
+ private:
+  friend class StreamConnection;
+  void on_packet(const simnet::Packet& packet);
+  void raw_send(const simnet::Address& dst, Bytes wire);
+
+  simnet::Host& host_;
+  simnet::Engine& engine_;
+  std::uint16_t port_;
+  StreamConfig config_;
+  AcceptHandler on_accept_;
+  /// Keyed by (peer address, connection id).
+  std::map<std::pair<simnet::Address, std::uint32_t>,
+           std::shared_ptr<StreamConnection>>
+      connections_;
+  std::uint32_t next_conn_id_ = 1;
+  Logger log_;
+};
+
+}  // namespace snipe::transport

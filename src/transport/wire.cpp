@@ -1,0 +1,220 @@
+#include "transport/wire.hpp"
+
+namespace snipe::transport {
+
+namespace {
+ByteWriter begin(PacketType type, std::uint16_t src_port) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u16(src_port);
+  return w;
+}
+
+Result<ByteReader> open(const Bytes& wire) {
+  ByteReader r(wire);
+  auto type = r.u8();
+  if (!type) return type.error();
+  auto port = r.u16();
+  if (!port) return port.error();
+  return r;
+}
+}  // namespace
+
+Bytes encode_data(std::uint16_t src_port, const DataPacket& p) {
+  auto w = begin(PacketType::data, src_port);
+  w.u64(p.msg_id);
+  w.u32(p.frag_index);
+  w.u32(p.frag_count);
+  w.u32(p.total_len);
+  w.blob(p.payload);
+  return std::move(w).take();
+}
+
+Bytes encode_status(std::uint16_t src_port, const StatusPacket& p) {
+  auto w = begin(PacketType::status, src_port);
+  w.u64(p.msg_id);
+  w.u32(p.frag_count);
+  w.blob(p.bitmap);
+  return std::move(w).take();
+}
+
+Bytes encode_msg_id(PacketType type, std::uint16_t src_port, const MsgIdPacket& p) {
+  auto w = begin(type, src_port);
+  w.u64(p.msg_id);
+  return std::move(w).take();
+}
+
+Bytes encode_stream(PacketType type, std::uint16_t src_port, const StreamPacket& p) {
+  auto w = begin(type, src_port);
+  w.u32(p.conn_id);
+  w.u64(p.seq);
+  w.u64(p.ack);
+  w.u32(p.window);
+  w.blob(p.payload);
+  return std::move(w).take();
+}
+
+Bytes encode_mcast_data(std::uint16_t src_port, const McastDataPacket& p) {
+  auto w = begin(PacketType::mdata, src_port);
+  w.str(p.group);
+  w.u64(p.msg_id);
+  w.u32(p.frag_index);
+  w.u32(p.frag_count);
+  w.u32(p.total_len);
+  w.blob(p.payload);
+  return std::move(w).take();
+}
+
+Bytes encode_mcast_nack(std::uint16_t src_port, const McastNackPacket& p) {
+  auto w = begin(PacketType::mnack, src_port);
+  w.str(p.group);
+  w.u64(p.msg_id);
+  w.u32(static_cast<std::uint32_t>(p.missing.size()));
+  for (auto idx : p.missing) w.u32(idx);
+  return std::move(w).take();
+}
+
+Result<PacketHead> decode_head(const Bytes& wire) {
+  ByteReader r(wire);
+  auto type = r.u8();
+  if (!type) return type.error();
+  auto port = r.u16();
+  if (!port) return port.error();
+  return PacketHead{static_cast<PacketType>(type.value()), port.value()};
+}
+
+Result<DataPacket> decode_data(const Bytes& wire) {
+  auto r = open(wire);
+  if (!r) return r.error();
+  DataPacket p;
+  auto msg_id = r.value().u64();
+  if (!msg_id) return msg_id.error();
+  p.msg_id = msg_id.value();
+  auto frag_index = r.value().u32();
+  if (!frag_index) return frag_index.error();
+  p.frag_index = frag_index.value();
+  auto frag_count = r.value().u32();
+  if (!frag_count) return frag_count.error();
+  p.frag_count = frag_count.value();
+  auto total_len = r.value().u32();
+  if (!total_len) return total_len.error();
+  p.total_len = total_len.value();
+  auto payload = r.value().blob();
+  if (!payload) return payload.error();
+  p.payload = std::move(payload).take();
+  if (p.frag_count == 0 || p.frag_index >= p.frag_count)
+    return Error{Errc::corrupt, "bad fragment indices"};
+  return p;
+}
+
+Result<StatusPacket> decode_status(const Bytes& wire) {
+  auto r = open(wire);
+  if (!r) return r.error();
+  StatusPacket p;
+  auto msg_id = r.value().u64();
+  if (!msg_id) return msg_id.error();
+  p.msg_id = msg_id.value();
+  auto frag_count = r.value().u32();
+  if (!frag_count) return frag_count.error();
+  p.frag_count = frag_count.value();
+  auto bitmap = r.value().blob();
+  if (!bitmap) return bitmap.error();
+  p.bitmap = std::move(bitmap).take();
+  if (p.bitmap.size() * 8 < p.frag_count)
+    return Error{Errc::corrupt, "status bitmap too small"};
+  return p;
+}
+
+Result<MsgIdPacket> decode_msg_id(const Bytes& wire) {
+  auto r = open(wire);
+  if (!r) return r.error();
+  auto msg_id = r.value().u64();
+  if (!msg_id) return msg_id.error();
+  return MsgIdPacket{msg_id.value()};
+}
+
+Result<StreamPacket> decode_stream(const Bytes& wire) {
+  auto r = open(wire);
+  if (!r) return r.error();
+  StreamPacket p;
+  auto conn_id = r.value().u32();
+  if (!conn_id) return conn_id.error();
+  p.conn_id = conn_id.value();
+  auto seq = r.value().u64();
+  if (!seq) return seq.error();
+  p.seq = seq.value();
+  auto ack = r.value().u64();
+  if (!ack) return ack.error();
+  p.ack = ack.value();
+  auto window = r.value().u32();
+  if (!window) return window.error();
+  p.window = window.value();
+  auto payload = r.value().blob();
+  if (!payload) return payload.error();
+  p.payload = std::move(payload).take();
+  return p;
+}
+
+Result<McastDataPacket> decode_mcast_data(const Bytes& wire) {
+  auto r = open(wire);
+  if (!r) return r.error();
+  McastDataPacket p;
+  auto group = r.value().str();
+  if (!group) return group.error();
+  p.group = group.value();
+  auto msg_id = r.value().u64();
+  if (!msg_id) return msg_id.error();
+  p.msg_id = msg_id.value();
+  auto frag_index = r.value().u32();
+  if (!frag_index) return frag_index.error();
+  p.frag_index = frag_index.value();
+  auto frag_count = r.value().u32();
+  if (!frag_count) return frag_count.error();
+  p.frag_count = frag_count.value();
+  auto total_len = r.value().u32();
+  if (!total_len) return total_len.error();
+  p.total_len = total_len.value();
+  auto payload = r.value().blob();
+  if (!payload) return payload.error();
+  p.payload = std::move(payload).take();
+  if (p.frag_count == 0 || p.frag_index >= p.frag_count)
+    return Error{Errc::corrupt, "bad multicast fragment indices"};
+  return p;
+}
+
+Result<McastNackPacket> decode_mcast_nack(const Bytes& wire) {
+  auto r = open(wire);
+  if (!r) return r.error();
+  McastNackPacket p;
+  auto group = r.value().str();
+  if (!group) return group.error();
+  p.group = group.value();
+  auto msg_id = r.value().u64();
+  if (!msg_id) return msg_id.error();
+  p.msg_id = msg_id.value();
+  auto count = r.value().u32();
+  if (!count) return count.error();
+  if (count.value() > 1u << 20) return Error{Errc::corrupt, "absurd NACK count"};
+  for (std::uint32_t i = 0; i < count.value(); ++i) {
+    auto idx = r.value().u32();
+    if (!idx) return idx.error();
+    p.missing.push_back(idx.value());
+  }
+  return p;
+}
+
+bool bitmap_get(const Bytes& bitmap, std::uint32_t index) {
+  std::size_t byte = index / 8;
+  if (byte >= bitmap.size()) return false;
+  return (bitmap[byte] >> (index % 8)) & 1;
+}
+
+void bitmap_set(Bytes& bitmap, std::uint32_t index) {
+  std::size_t byte = index / 8;
+  if (byte >= bitmap.size()) bitmap.resize(byte + 1, 0);
+  bitmap[byte] |= static_cast<std::uint8_t>(1u << (index % 8));
+}
+
+Bytes make_bitmap(std::uint32_t bits) { return Bytes((bits + 7) / 8, 0); }
+
+}  // namespace snipe::transport

@@ -1,0 +1,114 @@
+// On-wire packet formats for the SNIPE communications module.
+//
+// The 1998 SNIPE comms module (§6) spoke three protocols over raw
+// datagrams: a selective re-send UDP protocol ("SRUDP" here), TCP, and an
+// experimental Ethernet multicast.  Every packet starts with a one-byte
+// type and the sender's reply port; the rest is protocol-specific.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+
+namespace snipe::transport {
+
+enum class PacketType : std::uint8_t {
+  // SRUDP (selective re-send datagram protocol)
+  data = 1,     ///< one fragment of a message
+  msg_ack = 2,  ///< whole message received
+  status = 3,   ///< receiver's fragment bitmap (drives selective re-send)
+  probe = 4,    ///< sender asking for a status report
+  // Stream (TCP-like)
+  syn = 10,
+  syn_ack = 11,
+  ack = 12,
+  seg = 13,
+  fin = 14,
+  rst = 15,
+  // Experimental Ethernet multicast
+  mdata = 20,
+  mnack = 21,
+};
+
+/// Common prefix of every transport packet.
+struct PacketHead {
+  PacketType type;
+  std::uint16_t src_port = 0;  ///< sender's transport endpoint port
+};
+
+/// SRUDP DATA fragment.
+struct DataPacket {
+  std::uint64_t msg_id = 0;
+  std::uint32_t frag_index = 0;
+  std::uint32_t frag_count = 0;
+  std::uint32_t total_len = 0;  ///< full message length, for sanity checks
+  Bytes payload;
+};
+
+/// SRUDP STATUS: which fragments of `msg_id` the receiver holds.
+struct StatusPacket {
+  std::uint64_t msg_id = 0;
+  std::uint32_t frag_count = 0;
+  Bytes bitmap;  ///< frag_count bits, little-endian within bytes
+};
+
+/// SRUDP MSG_ACK / PROBE carry just the message id.
+struct MsgIdPacket {
+  std::uint64_t msg_id = 0;
+};
+
+/// Stream segment (also used, payload-less, for SYN/SYN_ACK/ACK/FIN/RST).
+struct StreamPacket {
+  std::uint32_t conn_id = 0;   ///< initiator-chosen connection id
+  std::uint64_t seq = 0;       ///< first payload byte's stream offset
+  std::uint64_t ack = 0;       ///< cumulative ack (next expected offset)
+  std::uint32_t window = 0;    ///< receiver's advertised window
+  Bytes payload;
+};
+
+/// Multicast data: like DataPacket plus the group it belongs to.
+struct McastDataPacket {
+  std::string group;
+  std::uint64_t msg_id = 0;
+  std::uint32_t frag_index = 0;
+  std::uint32_t frag_count = 0;
+  std::uint32_t total_len = 0;
+  Bytes payload;
+};
+
+/// Multicast NACK: fragments a receiver is missing.
+struct McastNackPacket {
+  std::string group;
+  std::uint64_t msg_id = 0;
+  std::vector<std::uint32_t> missing;
+};
+
+/// Number of bytes the SRUDP DATA header occupies on the wire; used to
+/// compute fragment payload budgets from the MTU.
+constexpr std::size_t kDataHeaderBytes = 1 + 2 + 8 + 4 + 4 + 4 + 4;  // +4 blob len
+/// Ditto for stream segments.
+constexpr std::size_t kStreamHeaderBytes = 1 + 2 + 4 + 8 + 8 + 4 + 4;
+
+Bytes encode_data(std::uint16_t src_port, const DataPacket& p);
+Bytes encode_status(std::uint16_t src_port, const StatusPacket& p);
+Bytes encode_msg_id(PacketType type, std::uint16_t src_port, const MsgIdPacket& p);
+Bytes encode_stream(PacketType type, std::uint16_t src_port, const StreamPacket& p);
+Bytes encode_mcast_data(std::uint16_t src_port, const McastDataPacket& p);
+Bytes encode_mcast_nack(std::uint16_t src_port, const McastNackPacket& p);
+
+/// Peeks the packet type + reply port; fails on an empty/unknown packet.
+Result<PacketHead> decode_head(const Bytes& wire);
+Result<DataPacket> decode_data(const Bytes& wire);
+Result<StatusPacket> decode_status(const Bytes& wire);
+Result<MsgIdPacket> decode_msg_id(const Bytes& wire);
+Result<StreamPacket> decode_stream(const Bytes& wire);
+Result<McastDataPacket> decode_mcast_data(const Bytes& wire);
+Result<McastNackPacket> decode_mcast_nack(const Bytes& wire);
+
+/// Fragment bitmap helpers.
+bool bitmap_get(const Bytes& bitmap, std::uint32_t index);
+void bitmap_set(Bytes& bitmap, std::uint32_t index);
+Bytes make_bitmap(std::uint32_t bits);
+
+}  // namespace snipe::transport

@@ -1,0 +1,145 @@
+#include "util/bytes.hpp"
+
+#include <bit>
+
+namespace snipe {
+
+Bytes to_bytes(const std::string& s) { return Bytes(s.begin(), s.end()); }
+std::string to_string(const Bytes& b) { return std::string(b.begin(), b.end()); }
+
+void ByteWriter::u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v >> 24));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 16));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  u32(static_cast<std::uint32_t>(v >> 32));
+  u32(static_cast<std::uint32_t>(v));
+}
+
+void ByteWriter::f64(double v) {
+  static_assert(sizeof(double) == sizeof(std::uint64_t));
+  u64(std::bit_cast<std::uint64_t>(v));
+}
+
+void ByteWriter::str(const std::string& s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  raw(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+}
+
+void ByteWriter::blob(const Bytes& b) {
+  u32(static_cast<std::uint32_t>(b.size()));
+  raw(b);
+}
+
+Result<std::uint8_t> ByteReader::u8() {
+  if (!need(1)) return Error{Errc::corrupt, "short read (u8)"};
+  return p_[off_++];
+}
+
+Result<std::uint16_t> ByteReader::u16() {
+  if (!need(2)) return Error{Errc::corrupt, "short read (u16)"};
+  std::uint16_t v = static_cast<std::uint16_t>(p_[off_] << 8 | p_[off_ + 1]);
+  off_ += 2;
+  return v;
+}
+
+Result<std::uint32_t> ByteReader::u32() {
+  if (!need(4)) return Error{Errc::corrupt, "short read (u32)"};
+  std::uint32_t v = (std::uint32_t{p_[off_]} << 24) | (std::uint32_t{p_[off_ + 1]} << 16) |
+                    (std::uint32_t{p_[off_ + 2]} << 8) | std::uint32_t{p_[off_ + 3]};
+  off_ += 4;
+  return v;
+}
+
+Result<std::uint64_t> ByteReader::u64() {
+  auto hi = u32();
+  if (!hi) return hi.error();
+  auto lo = u32();
+  if (!lo) return lo.error();
+  return (std::uint64_t{hi.value()} << 32) | lo.value();
+}
+
+Result<std::int32_t> ByteReader::i32() {
+  auto v = u32();
+  if (!v) return v.error();
+  return static_cast<std::int32_t>(v.value());
+}
+
+Result<std::int64_t> ByteReader::i64() {
+  auto v = u64();
+  if (!v) return v.error();
+  return static_cast<std::int64_t>(v.value());
+}
+
+Result<double> ByteReader::f64() {
+  auto v = u64();
+  if (!v) return v.error();
+  return std::bit_cast<double>(v.value());
+}
+
+Result<std::string> ByteReader::str() {
+  auto len = u32();
+  if (!len) return len.error();
+  if (!need(len.value())) return Error{Errc::corrupt, "short read (str body)"};
+  std::string s(reinterpret_cast<const char*>(p_ + off_), len.value());
+  off_ += len.value();
+  return s;
+}
+
+Result<Bytes> ByteReader::blob() {
+  auto len = u32();
+  if (!len) return len.error();
+  return raw(len.value());
+}
+
+Result<Bytes> ByteReader::raw(std::size_t n) {
+  if (!need(n)) return Error{Errc::corrupt, "short read (raw)"};
+  Bytes b(p_ + off_, p_ + off_ + n);
+  off_ += n;
+  return b;
+}
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::string hex_encode(const std::uint8_t* p, std::size_t n) {
+  std::string out;
+  out.reserve(n * 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(kHexDigits[p[i] >> 4]);
+    out.push_back(kHexDigits[p[i] & 0xf]);
+  }
+  return out;
+}
+
+std::string hex_encode(const Bytes& b) { return hex_encode(b.data(), b.size()); }
+
+Result<Bytes> hex_decode(const std::string& s) {
+  if (s.size() % 2 != 0) return Error{Errc::invalid_argument, "odd hex length"};
+  Bytes out;
+  out.reserve(s.size() / 2);
+  for (std::size_t i = 0; i < s.size(); i += 2) {
+    int hi = hex_value(s[i]), lo = hex_value(s[i + 1]);
+    if (hi < 0 || lo < 0) return Error{Errc::invalid_argument, "non-hex character"};
+    out.push_back(static_cast<std::uint8_t>(hi << 4 | lo));
+  }
+  return out;
+}
+
+}  // namespace snipe

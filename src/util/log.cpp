@@ -1,0 +1,48 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+
+#include "util/time.hpp"
+
+namespace snipe {
+
+namespace log_detail {
+
+LogLevel& threshold() {
+  static LogLevel level = LogLevel::warn;
+  return level;
+}
+
+std::function<std::int64_t()>& time_source() {
+  static std::function<std::int64_t()> source;
+  return source;
+}
+
+void emit(LogLevel level, const std::string& component, const std::string& text) {
+  static const char* names[] = {"TRACE", "DEBUG", "INFO ", "WARN ", "ERROR", "OFF"};
+  std::string stamp = "--";
+  if (auto& src = time_source(); src) stamp = format_time(src());
+  std::fprintf(stderr, "[%s] %s %-20s %s\n", stamp.c_str(),
+               names[static_cast<int>(level)], component.c_str(), text.c_str());
+}
+
+}  // namespace log_detail
+
+LogLevel set_log_level(LogLevel level) {
+  LogLevel old = log_detail::threshold();
+  log_detail::threshold() = level;
+  return old;
+}
+
+void set_log_time_source(std::function<std::int64_t()> source) {
+  log_detail::time_source() = std::move(source);
+}
+
+std::string format_time(SimTime t) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld.%06llds", static_cast<long long>(t / 1'000'000'000),
+                static_cast<long long>((t % 1'000'000'000) / 1'000));
+  return buf;
+}
+
+}  // namespace snipe

@@ -1,0 +1,23 @@
+#include "util/result.hpp"
+
+namespace snipe {
+
+const char* errc_name(Errc c) {
+  switch (c) {
+    case Errc::ok: return "ok";
+    case Errc::not_found: return "not_found";
+    case Errc::already_exists: return "already_exists";
+    case Errc::permission_denied: return "permission_denied";
+    case Errc::unreachable: return "unreachable";
+    case Errc::timeout: return "timeout";
+    case Errc::invalid_argument: return "invalid_argument";
+    case Errc::quota_exceeded: return "quota_exceeded";
+    case Errc::state_error: return "state_error";
+    case Errc::corrupt: return "corrupt";
+    case Errc::io_error: return "io_error";
+    case Errc::cancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+}  // namespace snipe

@@ -1,0 +1,47 @@
+// Deterministic random number generation.
+//
+// Every stochastic element of the simulation (packet loss, host failures,
+// jitter, workload arrival) draws from an explicitly seeded Rng so that
+// runs are reproducible.  The generator is xoshiro256** seeded through
+// SplitMix64, the standard recipe for expanding a 64-bit seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace snipe {
+
+class Rng {
+ public:
+  /// Seeds the stream.  Identical seeds produce identical sequences on all
+  /// platforms (no dependence on libstdc++ distribution internals).
+  explicit Rng(std::uint64_t seed = 0x5a1fe5eedULL);
+
+  /// Uniform over all 64-bit values.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound).  bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// True with probability p (clamped to [0,1]).
+  bool chance(double p);
+
+  /// Exponentially distributed with the given mean (> 0); used for
+  /// failure inter-arrival times (MTBF/MTTR churn in bench_availability).
+  double next_exponential(double mean);
+
+  /// Uniform double in [lo, hi).
+  double next_range(double lo, double hi);
+
+  /// Derives an independent child stream; used to give each simulated host
+  /// its own RNG from one run-level seed.
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace snipe

@@ -1,0 +1,21 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace snipe {
+
+/// Splits on a single character; adjacent separators yield empty fields.
+std::vector<std::string> split(const std::string& s, char sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string trim(const std::string& s);
+
+/// True if `s` begins with `prefix`.
+bool starts_with(const std::string& s, const std::string& prefix);
+
+/// Joins fields with a separator.
+std::string join(const std::vector<std::string>& parts, const std::string& sep);
+
+}  // namespace snipe

@@ -1,0 +1,41 @@
+// Simulated-time primitives.
+//
+// The whole of SNIPE runs on a discrete-event simulator with a virtual
+// clock (see DESIGN.md §5.1).  Time is an integral count of nanoseconds so
+// that event ordering is exact and runs are bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace snipe {
+
+/// A point in simulated time, in nanoseconds since the start of the run.
+using SimTime = std::int64_t;
+
+/// A span of simulated time, in nanoseconds.
+using SimDuration = std::int64_t;
+
+namespace duration {
+constexpr SimDuration nanoseconds(std::int64_t n) { return n; }
+constexpr SimDuration microseconds(std::int64_t n) { return n * 1'000; }
+constexpr SimDuration milliseconds(std::int64_t n) { return n * 1'000'000; }
+constexpr SimDuration seconds(std::int64_t n) { return n * 1'000'000'000; }
+constexpr SimDuration minutes(std::int64_t n) { return seconds(n * 60); }
+constexpr SimDuration hours(std::int64_t n) { return minutes(n * 60); }
+}  // namespace duration
+
+/// Converts a simulated duration to fractional seconds (for reporting only;
+/// never used for event ordering).
+constexpr double to_seconds(SimDuration d) { return static_cast<double>(d) * 1e-9; }
+
+/// Converts fractional seconds to a simulated duration, truncating toward
+/// zero.  Intended for configuration values, not for arithmetic on times.
+constexpr SimDuration from_seconds(double s) {
+  return static_cast<SimDuration>(s * 1e9);
+}
+
+/// Renders a time as "12.345678s" for logs and reports.
+std::string format_time(SimTime t);
+
+}  // namespace snipe

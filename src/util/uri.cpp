@@ -1,0 +1,84 @@
+#include "util/uri.hpp"
+
+#include <cctype>
+
+namespace snipe {
+
+namespace {
+bool valid_scheme(const std::string& s) {
+  if (s.empty() || !std::isalpha(static_cast<unsigned char>(s[0]))) return false;
+  for (char c : s) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '+' && c != '-' && c != '.')
+      return false;
+  }
+  return true;
+}
+}  // namespace
+
+Result<Uri> parse_uri(const std::string& text) {
+  auto colon = text.find(':');
+  if (colon == std::string::npos || colon == 0)
+    return Error{Errc::invalid_argument, "no scheme in '" + text + "'"};
+  Uri uri;
+  uri.scheme = text.substr(0, colon);
+  for (auto& c : uri.scheme) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (!valid_scheme(uri.scheme))
+    return Error{Errc::invalid_argument, "bad scheme in '" + text + "'"};
+
+  std::string rest = text.substr(colon + 1);
+  if (uri.scheme == "urn") {
+    if (rest.empty()) return Error{Errc::invalid_argument, "empty URN body"};
+    uri.path = rest;
+    return uri;
+  }
+
+  if (rest.rfind("//", 0) != 0)
+    return Error{Errc::invalid_argument, "expected '//' after scheme in '" + text + "'"};
+  rest = rest.substr(2);
+
+  auto slash = rest.find('/');
+  std::string authority = slash == std::string::npos ? rest : rest.substr(0, slash);
+  uri.path = slash == std::string::npos ? "" : rest.substr(slash + 1);
+
+  auto port_colon = authority.rfind(':');
+  if (port_colon != std::string::npos) {
+    std::string port_text = authority.substr(port_colon + 1);
+    if (port_text.empty())
+      return Error{Errc::invalid_argument, "empty port in '" + text + "'"};
+    int port = 0;
+    for (char c : port_text) {
+      if (!std::isdigit(static_cast<unsigned char>(c)))
+        return Error{Errc::invalid_argument, "non-numeric port in '" + text + "'"};
+      port = port * 10 + (c - '0');
+      if (port > 65535) return Error{Errc::invalid_argument, "port out of range"};
+    }
+    uri.port = port;
+    uri.host = authority.substr(0, port_colon);
+  } else {
+    uri.host = authority;
+  }
+  if (uri.host.empty()) return Error{Errc::invalid_argument, "empty host in '" + text + "'"};
+  return uri;
+}
+
+std::string Uri::to_string() const {
+  if (is_urn()) return "urn:" + path;
+  std::string out = scheme + "://" + host;
+  if (port != 0) out += ":" + std::to_string(port);
+  if (!path.empty()) out += "/" + path;
+  return out;
+}
+
+std::string host_url(const std::string& hostname, int port) {
+  return "snipe://" + hostname + ":" + std::to_string(port) + "/daemon";
+}
+
+std::string process_urn(const std::string& name) { return "urn:snipe:proc:" + name; }
+
+std::string group_urn(const std::string& name) { return "urn:snipe:group:" + name; }
+
+std::string service_lifn(const std::string& authority, const std::string& name) {
+  return "lifn://" + authority + "/" + name;
+}
+
+}  // namespace snipe

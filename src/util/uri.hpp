@@ -1,0 +1,49 @@
+// URI / URL / URN / LIFN handling.
+//
+// SNIPE names everything — hosts, processes, files, multicast groups,
+// services — with URIs resolved through the RC registry (§3.1, §5.2):
+//
+//   * URLs  like  snipe://hostA:7201/daemon        (location-full)
+//   * URNs  like  urn:snipe:proc:weather-ingest-17  (location-independent)
+//   * LIFNs like  lifn://utk.edu/ckpt/job42/3       (Location-Independent
+//     File Names, per Browne et al. [13] — stable names for file contents
+//     that may be replicated at many locations)
+//
+// This parser covers the subset of RFC 2396 those forms need.
+#pragma once
+
+#include <string>
+
+#include "util/result.hpp"
+
+namespace snipe {
+
+/// A parsed URI.  For `urn:` names, `scheme` is "urn" and `path` carries the
+/// namespace-specific string ("snipe:proc:weather-ingest-17").
+struct Uri {
+  std::string scheme;  ///< "snipe", "urn", "lifn", "http", ...
+  std::string host;    ///< authority host (empty for URNs)
+  int port = 0;        ///< authority port, 0 if absent
+  std::string path;    ///< path without leading '/', or the URN NSS
+
+  /// Reassembles the canonical text form.
+  std::string to_string() const;
+
+  bool is_urn() const { return scheme == "urn"; }
+  bool is_lifn() const { return scheme == "lifn"; }
+
+  friend bool operator==(const Uri&, const Uri&) = default;
+};
+
+/// Parses a URI; fails with Errc::invalid_argument on malformed input.
+Result<Uri> parse_uri(const std::string& text);
+
+/// Builders for the distinguished names the paper assigns to entities.
+/// (§5.2.1: "The distinguished URL for the host", §5.2.3: "The
+/// distinguished URN for that process".)
+std::string host_url(const std::string& hostname, int port = 7201);
+std::string process_urn(const std::string& name);
+std::string group_urn(const std::string& name);
+std::string service_lifn(const std::string& authority, const std::string& name);
+
+}  // namespace snipe

@@ -1,0 +1,376 @@
+// Tests for the SNIPE client library: URN messaging, migration with
+// no-loss delivery and relays, notify lists, multicast groups with router
+// election and failure, consoles, and the migrating HTTP server.
+#include <gtest/gtest.h>
+
+#include "core/console.hpp"
+#include "core/group.hpp"
+#include "core/process.hpp"
+#include "rcds/server.hpp"
+#include "util/uri.hpp"
+
+namespace snipe::core {
+namespace {
+
+using simnet::Address;
+using simnet::World;
+
+struct CoreFixture : ::testing::Test {
+  CoreFixture() : world(91) {
+    world.create_network("lan", simnet::ethernet100());
+    world.create_network("wan", simnet::wan_t3());
+    for (const char* n : {"rc1", "rc2", "hostA", "hostB", "hostC"}) {
+      auto& h = world.create_host(n);
+      world.attach(h, *world.network("lan"));
+      world.attach(h, *world.network("wan"));
+    }
+    rc1 = std::make_unique<rcds::RcServer>(*world.host("rc1"));
+    rc2 = std::make_unique<rcds::RcServer>(*world.host("rc2"));
+    rc1->set_peers({rc2->address()});
+    rc2->set_peers({rc1->address()});
+  }
+
+  std::vector<Address> replicas() { return {rc1->address(), rc2->address()}; }
+
+  std::unique_ptr<SnipeProcess> make_process(const std::string& host,
+                                             const std::string& name) {
+    auto p = std::make_unique<SnipeProcess>(*world.host(host), name, replicas());
+    world.engine().run();  // let registration settle
+    return p;
+  }
+
+  World world;
+  std::unique_ptr<rcds::RcServer> rc1, rc2;
+};
+
+TEST_F(CoreFixture, UrnMessagingBetweenProcesses) {
+  auto alice = make_process("hostA", "alice");
+  auto bob = make_process("hostB", "bob");
+  std::vector<std::tuple<std::string, std::uint32_t, std::string>> got;
+  bob->set_message_handler([&](const std::string& src, std::uint32_t tag, Bytes body) {
+    got.emplace_back(src, tag, to_string(body));
+  });
+  Result<void> sent(Errc::state_error, "unset");
+  alice->send(bob->urn(), 7, to_bytes("hello bob"), [&](Result<void> r) { sent = r; });
+  world.engine().run();
+  ASSERT_TRUE(sent.ok());
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(std::get<0>(got[0]), "urn:snipe:proc:alice");
+  EXPECT_EQ(std::get<1>(got[0]), 7u);
+  EXPECT_EQ(std::get<2>(got[0]), "hello bob");
+}
+
+TEST_F(CoreFixture, ProcessRegistersItsMetadata) {
+  auto alice = make_process("hostA", "alice");
+  auto record = rc1->get(alice->urn());
+  std::map<std::string, std::string> meta;
+  for (const auto& a : record) meta[a.name] = a.value;
+  EXPECT_EQ(meta[rcds::names::kProcHost], "hostA");
+  EXPECT_EQ(meta[rcds::names::kProcState], "running");
+  EXPECT_NE(meta[rcds::names::kProcAddress].find("hostA"), std::string::npos);
+}
+
+TEST_F(CoreFixture, SendToUnknownUrnFails) {
+  auto alice = make_process("hostA", "alice");
+  Result<void> sent(Errc::state_error, "unset");
+  alice->send("urn:snipe:proc:ghost", 1, {}, [&](Result<void> r) { sent = r; });
+  world.engine().run();
+  EXPECT_FALSE(sent.ok());
+  EXPECT_EQ(alice->stats().send_failures, 1u);
+}
+
+TEST_F(CoreFixture, MigrationKeepsMessagesFlowing) {
+  auto sender = make_process("hostA", "sender");
+  auto roamer = make_process("hostB", "roamer");
+  std::vector<std::string> got;
+  roamer->set_message_handler(
+      [&](const std::string&, std::uint32_t, Bytes body) { got.push_back(to_string(body)); });
+
+  sender->send(roamer->urn(), 1, to_bytes("before"), nullptr);
+  world.engine().run();
+
+  // §5.6: the process initiates its own migration.
+  Result<void> moved(Errc::state_error, "unset");
+  roamer->migrate_to(*world.host("hostC"), [&](Result<void> r) { moved = r; });
+  world.engine().run();
+  ASSERT_TRUE(moved.ok());
+  EXPECT_EQ(roamer->host().name(), "hostC");
+
+  // The sender still holds the OLD cached address; the relay forwards, so
+  // nothing is lost even before re-resolution.
+  Result<void> sent(Errc::state_error, "unset");
+  sender->send(roamer->urn(), 1, to_bytes("during"), [&](Result<void> r) { sent = r; });
+  world.engine().run();
+  ASSERT_TRUE(sent.ok());
+
+  // After the relay grace expires the old address is gone; delivery must
+  // recover via RC re-resolution.
+  world.engine().run_for(duration::seconds(15));
+  sender->send(roamer->urn(), 1, to_bytes("after"), nullptr);
+  world.engine().run();
+
+  EXPECT_EQ(got, (std::vector<std::string>{"before", "during", "after"}));
+  EXPECT_GE(roamer->stats().relayed, 1u);
+  EXPECT_GE(sender->stats().re_resolutions, 1u);
+}
+
+TEST_F(CoreFixture, NotifyListGetsDirectMigrationNotice) {
+  auto watcher = make_process("hostA", "watcher");
+  auto roamer = make_process("hostB", "roamer");
+  roamer->add_to_notify_list(watcher->urn());
+  world.engine().run();
+
+  roamer->migrate_to(*world.host("hostC"), nullptr);
+  world.engine().run();
+
+  // The watcher's resolution cache was refreshed by the direct notice:
+  // sending needs no re-resolution round.
+  std::uint64_t re_res_before = watcher->stats().re_resolutions;
+  bool delivered = false;
+  roamer->set_message_handler([&](const std::string&, std::uint32_t, Bytes) {
+    delivered = true;
+  });
+  watcher->send(roamer->urn(), 1, to_bytes("found you"), nullptr);
+  world.engine().run();
+  EXPECT_TRUE(delivered);
+  EXPECT_EQ(watcher->stats().re_resolutions, re_res_before);
+}
+
+TEST_F(CoreFixture, SpawnViaHostPrefersBroker) {
+  // §5.5: a host with registered brokers gets spawn requests via the
+  // broker.  Registering a bogus broker and watching the spawn fail with
+  // timeout at that address (instead of not_found from the daemon) proves
+  // the redirect happened; the RM integration test covers the happy path.
+  auto alice = make_process("hostA", "alice");
+  std::string uri = snipe::host_url("hostB", daemon::SnipeDaemon::kDefaultPort);
+  bool broker_called = false;
+  auto& broker_host = world.create_host("broker");
+  world.attach(broker_host, *world.network("lan"));
+  transport::RpcEndpoint broker_rpc(broker_host, rm::ResourceManager::kDefaultPort);
+  broker_rpc.serve(rm::tags::kAllocate,
+                   [&](const Address&, const Bytes&) -> Result<Bytes> {
+                     broker_called = true;
+                     return Result<Bytes>(Errc::unreachable, "no hosts");
+                   });
+  alice->rc().add(uri, rcds::names::kHostBroker,
+                  "snipe://broker:" + std::to_string(rm::ResourceManager::kDefaultPort) + "/rm",
+                  [](Result<void>) {});
+  world.engine().run();
+
+  Result<daemon::SpawnReply> reply(Errc::state_error, "unset");
+  daemon::SpawnRequest req;
+  req.program = "anything";
+  alice->spawn_via_host("hostB", req, [&](Result<daemon::SpawnReply> r) { reply = r; });
+  world.engine().run();
+  EXPECT_TRUE(broker_called);
+  EXPECT_EQ(reply.code(), Errc::unreachable);
+}
+
+// ---- multicast groups ----
+
+TEST_F(CoreFixture, GroupElectionAndDelivery) {
+  auto p1 = make_process("hostA", "m1");
+  auto p2 = make_process("hostB", "m2");
+  auto p3 = make_process("hostC", "m3");
+
+  std::string g = snipe::group_urn("weather");
+  GroupConfig cfg;
+  cfg.desired_routers = 2;
+  MulticastGroup g1(*p1, g, cfg);
+  world.engine().run();
+  MulticastGroup g2(*p2, g, cfg);
+  world.engine().run();
+  MulticastGroup g3(*p3, g, cfg);
+  world.engine().run();
+
+  // First two members elected themselves; the third found enough routers.
+  EXPECT_TRUE(g1.is_router());
+  EXPECT_TRUE(g2.is_router());
+  EXPECT_FALSE(g3.is_router());
+
+  std::map<std::string, std::vector<std::string>> got;
+  g1.set_handler([&](const std::string& src, Bytes b) { got["m1"].push_back(src); (void)b; });
+  g2.set_handler([&](const std::string& src, Bytes b) { got["m2"].push_back(src); (void)b; });
+  g3.set_handler([&](const std::string& src, Bytes b) { got["m3"].push_back(src); (void)b; });
+
+  g3.send(to_bytes("storm warning"));
+  world.engine().run();
+
+  // Everyone (including the sender, via its membership) hears it once.
+  for (const char* m : {"m1", "m2", "m3"}) {
+    ASSERT_EQ(got[m].size(), 1u) << m;
+    EXPECT_EQ(got[m][0], p3->urn()) << m;
+  }
+}
+
+TEST_F(CoreFixture, GroupSurvivesRouterFailure) {
+  std::string g = snipe::group_urn("resilient");
+  GroupConfig cfg;
+  cfg.desired_routers = 3;
+  std::vector<std::unique_ptr<SnipeProcess>> procs;
+  std::vector<std::unique_ptr<MulticastGroup>> groups;
+  int delivered = 0;
+  for (const char* host : {"hostA", "hostB", "hostC"}) {
+    procs.push_back(make_process(host, std::string("r-") + host));
+    groups.push_back(std::make_unique<MulticastGroup>(*procs.back(), g, cfg));
+    world.engine().run();
+    groups.back()->set_handler([&](const std::string&, Bytes) { ++delivered; });
+  }
+  ASSERT_TRUE(groups[0]->is_router());
+  ASSERT_TRUE(groups[1]->is_router());
+  ASSERT_TRUE(groups[2]->is_router());
+
+  // Kill one router host outright; >half of the routers still get sends.
+  world.host("hostB")->set_up(false);
+  groups[0]->send(to_bytes("still here"));
+  world.engine().run_for(duration::seconds(5));
+  // hostA and hostC members both hear it (hostB is dead).
+  EXPECT_EQ(delivered, 2);
+}
+
+TEST_F(CoreFixture, GroupDuplicatesSuppressed) {
+  std::string g = snipe::group_urn("dedup");
+  auto p1 = make_process("hostA", "d1");
+  auto p2 = make_process("hostB", "d2");
+  GroupConfig cfg;
+  cfg.desired_routers = 3;  // both members host routers
+  MulticastGroup g1(*p1, g, cfg);
+  world.engine().run();
+  MulticastGroup g2(*p2, g, cfg);
+  world.engine().run();
+  // Let the periodic refresh run so both members discover *both* routers
+  // (only then does the send fan out redundantly).
+  world.engine().run_for(duration::seconds(6));
+  ASSERT_EQ(g1.known_routers(), 2u);
+  int count = 0;
+  g2.set_handler([&](const std::string&, Bytes) { ++count; });
+  for (int i = 0; i < 5; ++i) g1.send(to_bytes("x"));
+  world.engine().run();
+  EXPECT_EQ(count, 5);  // exactly once each, despite multi-router fanout
+  EXPECT_GT(g2.stats().duplicates_dropped + g1.stats().duplicates_dropped, 0u);
+}
+
+// ---- console + HTTP gateway ----
+
+TEST_F(CoreFixture, ConsoleQueriesProcessState) {
+  auto alice = make_process("hostA", "alice");
+  auto console_proc = make_process("hostC", "console");
+  Console console(*console_proc);
+  Result<std::string> state(Errc::state_error, "unset");
+  console.process_state(alice->urn(), [&](Result<std::string> r) { state = r; });
+  world.engine().run();
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(state.value(), "running");
+}
+
+TEST_F(CoreFixture, ConsoleCommandInterpreter) {
+  auto alice = make_process("hostA", "alice");
+  auto console_proc = make_process("hostC", "console");
+  Console console(*console_proc);
+
+  auto run_command = [&](const std::string& line) {
+    std::string out;
+    console.interpret(line, [&](std::string reply) { out = std::move(reply); });
+    world.engine().run();
+    return out;
+  };
+
+  EXPECT_EQ(run_command("state " + alice->urn()), alice->urn() + ": running");
+  EXPECT_EQ(run_command("where " + alice->urn()), alice->urn() + " is on hostA");
+  EXPECT_NE(run_command("meta " + alice->urn()).find("proc:host = hostA"),
+            std::string::npos);
+  EXPECT_NE(run_command("state urn:snipe:proc:ghost").find("not_found"),
+            std::string::npos);
+  EXPECT_NE(run_command("bogus"), "");  // usage text
+  EXPECT_NE(run_command(""), "");
+
+  // `routers` against a live group.
+  MulticastGroup group(*alice, snipe::group_urn("console-test"));
+  world.engine().run();
+  EXPECT_NE(run_command("routers " + snipe::group_urn("console-test"))
+                .find(rcds::names::kGroupRouter),
+            std::string::npos);
+}
+
+TEST_F(CoreFixture, HttpGatewayFollowsMigratingServer) {
+  // §3.7: "allowing a web browser to find it even though it may migrate
+  // from one host to another".
+  auto server_proc = make_process("hostA", "webserver");
+  HttpServer server(*server_proc, "http://status.utk.edu/", [&](const HttpRequest& req) {
+    HttpResponse res;
+    res.status = 200;
+    res.body = to_bytes("host=" + server_proc->host().name() + " path=" + req.path);
+    return res;
+  });
+  auto browser_proc = make_process("hostB", "browser");
+  HttpGateway gateway(*browser_proc);
+  world.engine().run();
+
+  auto fetch = [&](const std::string& path) {
+    Result<HttpResponse> out(Errc::state_error, "unset");
+    HttpRequest req;
+    req.path = path;
+    gateway.request("http://status.utk.edu/", req,
+                    [&](Result<HttpResponse> r) { out = r; });
+    world.engine().run();
+    return out;
+  };
+
+  auto first = fetch("/a");
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(to_string(first.value().body), "host=hostA path=/a");
+
+  // Migrate the server; let the relay grace period fully expire so the
+  // gateway is forced through RC re-resolution.
+  server_proc->migrate_to(*world.host("hostC"), nullptr);
+  world.engine().run_for(duration::seconds(15));
+
+  auto second = fetch("/b");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(to_string(second.value().body), "host=hostC path=/b");
+}
+
+TEST_F(CoreFixture, ConsoleListsProcessesStartedByDaemon) {
+  // The §3.7 "processes ... initiated by the SNIPE daemon on any
+  // particular host" query, against a real daemon.
+  daemon::DaemonConfig dcfg;
+  dcfg.playground.require_signature = false;
+  daemon::SnipeDaemon d(*world.host("hostB"), replicas(), daemon::SnipeDaemon::kDefaultPort,
+                        dcfg);
+  d.register_program("noop", [&](const daemon::SpawnRequest&, daemon::TaskHandle& h)
+                                 -> Result<std::unique_ptr<daemon::ManagedTask>> {
+    class Noop final : public daemon::ManagedTask {
+     public:
+      explicit Noop(daemon::TaskHandle& handle) : handle_(handle) {}
+      void start() override { handle_.exited(0); }
+      void kill() override {}
+
+     private:
+      daemon::TaskHandle& handle_;
+    };
+    return std::unique_ptr<daemon::ManagedTask>(new Noop(h));
+  });
+  world.engine().run();
+
+  auto console_proc = make_process("hostC", "console2");
+  daemon::SpawnRequest req;
+  req.program = "noop";
+  req.name = "listed-task";
+  bool spawned = false;
+  console_proc->spawn_via_host("hostB", req,
+                               [&](Result<daemon::SpawnReply> r) { spawned = r.ok(); });
+  world.engine().run();
+  ASSERT_TRUE(spawned);
+
+  Console console(*console_proc);
+  Result<std::vector<std::string>> tasks(Errc::state_error, "unset");
+  console.processes_on_host(d.host_url(),
+                            [&](Result<std::vector<std::string>> r) { tasks = r; });
+  world.engine().run();
+  ASSERT_TRUE(tasks.ok());
+  ASSERT_EQ(tasks.value().size(), 1u);
+  EXPECT_EQ(tasks.value()[0], "urn:snipe:proc:listed-task");
+}
+
+}  // namespace
+}  // namespace snipe::core

@@ -1,0 +1,222 @@
+// Tests for SNIPE file servers: sink/source I/O, replication daemons,
+// RC location registration, closest-replica selection, failover, and
+// integrity verification.
+#include <gtest/gtest.h>
+
+#include "files/fileserver.hpp"
+
+namespace snipe::files {
+namespace {
+
+using simnet::Address;
+using simnet::World;
+
+Bytes pattern(std::size_t n, std::uint32_t seed = 1) {
+  Bytes b(n);
+  std::uint32_t x = seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    x = x * 1664525u + 1013904223u;
+    b[i] = static_cast<std::uint8_t>(x >> 16);
+  }
+  return b;
+}
+
+struct FilesFixture : ::testing::Test {
+  FilesFixture() : world(41) {
+    world.create_network("lan", simnet::ethernet100());
+    for (const char* name : {"rc", "fs1", "fs2", "app"})
+      world.attach(world.create_host(name), *world.network("lan"));
+    rc = std::make_unique<rcds::RcServer>(*world.host("rc"));
+
+    FileServerConfig cfg;
+    cfg.replication_factor = 2;
+    fs1 = std::make_unique<FileServer>(*world.host("fs1"), replicas(), FileServer::kDefaultPort,
+                                       cfg);
+    fs2 = std::make_unique<FileServer>(*world.host("fs2"), replicas(), FileServer::kDefaultPort,
+                                       cfg);
+    fs1->set_peers({fs2->address()});
+    fs2->set_peers({fs1->address()});
+
+    app_rpc = std::make_unique<transport::RpcEndpoint>(*world.host("app"), 9200);
+    client = std::make_unique<FileClient>(*app_rpc, replicas());
+  }
+  std::vector<Address> replicas() { return {rc->address()}; }
+
+  World world;
+  std::unique_ptr<rcds::RcServer> rc;
+  std::unique_ptr<FileServer> fs1, fs2;
+  std::unique_ptr<transport::RpcEndpoint> app_rpc;
+  std::unique_ptr<FileClient> client;
+};
+
+TEST_F(FilesFixture, SinkWriteThenSourceRead) {
+  Bytes content = pattern(300'000);
+  Result<void> wrote(Errc::state_error, "unset");
+  client->write(fs1->address(), "lifn://utk.edu/data/1", content,
+                [&](Result<void> r) { wrote = r; });
+  world.engine().run();
+  ASSERT_TRUE(wrote.ok());
+  EXPECT_TRUE(fs1->has("lifn://utk.edu/data/1"));
+
+  Result<Bytes> read(Errc::state_error, "unset");
+  client->read("lifn://utk.edu/data/1", [&](Result<Bytes> r) { read = r; });
+  world.engine().run();
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), content);
+  EXPECT_GE(fs1->stats().sink_sessions, 1u);
+}
+
+TEST_F(FilesFixture, ReplicationDaemonCopiesAndRegistersBothLocations) {
+  client->write(fs1->address(), "lifn://utk.edu/data/2", pattern(10'000),
+                [](Result<void>) {});
+  world.engine().run();
+  EXPECT_TRUE(fs2->has("lifn://utk.edu/data/2"));  // replication_factor = 2
+  auto locations = rc->get("lifn://utk.edu/data/2");
+  int location_count = 0;
+  for (const auto& a : locations)
+    if (a.name == rcds::names::kLifnLocation) ++location_count;
+  EXPECT_EQ(location_count, 2);
+}
+
+TEST_F(FilesFixture, ReadFailsOverToSurvivingReplica) {
+  Bytes content = pattern(50'000);
+  client->write(fs1->address(), "lifn://utk.edu/data/3", content, [](Result<void>) {});
+  world.engine().run();
+  ASSERT_TRUE(fs2->has("lifn://utk.edu/data/3"));
+
+  world.host("fs1")->set_up(false);
+  Result<Bytes> read(Errc::state_error, "unset");
+  client->read("lifn://utk.edu/data/3", [&](Result<Bytes> r) { read = r; });
+  world.engine().run_for(duration::seconds(10));
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), content);
+  EXPECT_GE(fs2->stats().source_sessions, 1u);
+}
+
+TEST_F(FilesFixture, CorruptReplicaDetectedByHash) {
+  client->write(fs1->address(), "lifn://utk.edu/data/4", pattern(1000), [](Result<void>) {});
+  world.engine().run();
+  // Corrupt both replicas in place (announce=false keeps the registered
+  // hash describing the original content).
+  fs1->store_local("lifn://utk.edu/data/4", pattern(1000, 999), /*announce=*/false);
+  fs2->store_local("lifn://utk.edu/data/4", pattern(1000, 999), /*announce=*/false);
+  Result<Bytes> read(Errc::state_error, "unset");
+  client->read("lifn://utk.edu/data/4", [&](Result<Bytes> r) { read = r; });
+  world.engine().run();
+  EXPECT_EQ(read.code(), Errc::corrupt);
+}
+
+TEST_F(FilesFixture, MissingLifnReportsNotFound) {
+  Result<Bytes> read(Errc::state_error, "unset");
+  client->read("lifn://utk.edu/ghost", [&](Result<Bytes> r) { read = r; });
+  world.engine().run();
+  EXPECT_EQ(read.code(), Errc::not_found);
+}
+
+TEST_F(FilesFixture, EmptyFileRoundTrips) {
+  Result<void> wrote(Errc::state_error, "unset");
+  client->write(fs1->address(), "lifn://utk.edu/empty", Bytes{},
+                [&](Result<void> r) { wrote = r; });
+  world.engine().run();
+  ASSERT_TRUE(wrote.ok());
+  Result<Bytes> read(Errc::state_error, "unset");
+  client->read("lifn://utk.edu/empty", [&](Result<Bytes> r) { read = r; });
+  world.engine().run();
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read.value().empty());
+}
+
+TEST(FilesDistance, ClosestReplicaIsPreferred) {
+  // app shares a LAN with fs_near; fs_far is only reachable over the WAN.
+  World world(43);
+  world.create_network("lan", simnet::ethernet100());
+  world.create_network("wan", simnet::wan_t3());
+  auto& rc_host = world.create_host("rc");
+  auto& near_host = world.create_host("fs_near");
+  auto& far_host = world.create_host("fs_far");
+  auto& app_host = world.create_host("app");
+  world.attach(rc_host, *world.network("lan"));
+  world.attach(rc_host, *world.network("wan"));
+  world.attach(near_host, *world.network("lan"));
+  world.attach(far_host, *world.network("wan"));
+  world.attach(app_host, *world.network("lan"));
+  world.attach(app_host, *world.network("wan"));
+
+  rcds::RcServer rc(rc_host);
+  FileServer near_server(near_host, {rc.address()});
+  FileServer far_server(far_host, {rc.address()});
+
+  EXPECT_EQ(net_distance(world, "app", "app"), 0);
+  EXPECT_LT(net_distance(world, "app", "fs_near"), net_distance(world, "app", "fs_far"));
+  EXPECT_EQ(net_distance(world, "fs_near", "fs_far"),
+            std::numeric_limits<SimDuration>::max());
+
+  // Same file on both servers; the client must read from the near one.
+  Bytes content{1, 2, 3, 4};
+  near_server.store_local("lifn://x/f", content);
+  far_server.store_local("lifn://x/f", content);
+  world.engine().run();
+
+  transport::RpcEndpoint rpc(app_host, 9200);
+  FileClient client(rpc, {rc.address()});
+  Result<Bytes> read(Errc::state_error, "unset");
+  client.read("lifn://x/f", [&](Result<Bytes> r) { read = r; });
+  world.engine().run();
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(near_server.stats().source_sessions, 1u);
+  EXPECT_EQ(far_server.stats().source_sessions, 0u);
+}
+
+TEST_F(FilesFixture, ReplicationDaemonRepairsLostReplica) {
+  // §3.2: the replication daemons maintain the redundancy target.  Kill
+  // one replica after the initial write; the survivor's repair tick must
+  // retract the dead location and... there being only one peer, re-push
+  // once the peer returns.
+  client->write(fs1->address(), "lifn://utk.edu/data/repair", pattern(8000),
+                [](Result<void>) {});
+  world.engine().run();
+  ASSERT_TRUE(fs2->has("lifn://utk.edu/data/repair"));
+
+  // fs2 dies and loses its disk (fresh process on reboot).
+  world.host("fs2")->set_up(false);
+  world.engine().run_for(duration::seconds(20));  // a repair tick passes
+  // The dead replica's location was retracted from RC.
+  int live_locations = 0;
+  for (const auto& a : rc->get("lifn://utk.edu/data/repair"))
+    if (a.name == rcds::names::kLifnLocation) ++live_locations;
+  EXPECT_EQ(live_locations, 1);
+
+  // The peer returns (empty); the next repair round re-pushes the copy.
+  world.host("fs2")->set_up(true);
+  world.engine().run_for(duration::seconds(40));
+  EXPECT_GE(fs1->stats().repairs, 1u);
+  int locations_after = 0;
+  for (const auto& a : rc->get("lifn://utk.edu/data/repair"))
+    if (a.name == rcds::names::kLifnLocation) ++locations_after;
+  EXPECT_EQ(locations_after, 2);
+}
+
+TEST_F(FilesFixture, DirectStoreFetchRpc) {
+  // The plain kStore/kFetch path (used by checkpoint storage).
+  ByteWriter w;
+  w.str("lifn://utk.edu/ckpt/1");
+  w.blob(pattern(5000));
+  Result<Bytes> stored(Errc::state_error, "unset");
+  app_rpc->call(fs1->address(), tags::kStore, std::move(w).take(),
+                [&](Result<Bytes> r) { stored = r; });
+  world.engine().run();
+  ASSERT_TRUE(stored.ok());
+
+  ByteWriter f;
+  f.str("lifn://utk.edu/ckpt/1");
+  Result<Bytes> fetched(Errc::state_error, "unset");
+  app_rpc->call(fs1->address(), tags::kFetch, std::move(f).take(),
+                [&](Result<Bytes> r) { fetched = r; });
+  world.engine().run();
+  ASSERT_TRUE(fetched.ok());
+  ByteReader r(fetched.value());
+  EXPECT_EQ(r.blob().value(), pattern(5000));
+}
+
+}  // namespace
+}  // namespace snipe::files

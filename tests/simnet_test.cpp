@@ -1,0 +1,335 @@
+// Unit tests for snipe_simnet: event engine determinism, media timing,
+// route selection (§5.3), failure injection, loss, and broadcast.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "simnet/engine.hpp"
+#include "simnet/media.hpp"
+#include "simnet/world.hpp"
+
+namespace snipe::simnet {
+namespace {
+
+TEST(Engine, RunsEventsInTimeOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule(duration::milliseconds(30), [&] { order.push_back(3); });
+  engine.schedule(duration::milliseconds(10), [&] { order.push_back(1); });
+  engine.schedule(duration::milliseconds(20), [&] { order.push_back(2); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(engine.now(), duration::milliseconds(30));
+}
+
+TEST(Engine, EqualTimesFireInScheduleOrder) {
+  Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    engine.schedule(duration::seconds(1), [&order, i] { order.push_back(i); });
+  engine.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  Engine engine;
+  bool fired = false;
+  auto id = engine.schedule(duration::seconds(1), [&] { fired = true; });
+  engine.cancel(id);
+  engine.run();
+  EXPECT_FALSE(fired);
+  engine.cancel(id);       // double-cancel is a no-op
+  engine.cancel(TimerId{});  // null cancel is a no-op
+}
+
+TEST(Engine, EventsCanScheduleEvents) {
+  Engine engine;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 5) engine.schedule(duration::seconds(1), tick);
+  };
+  engine.schedule(0, tick);
+  engine.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(engine.now(), duration::seconds(4));
+}
+
+TEST(Engine, RunUntilAdvancesClockExactly) {
+  Engine engine;
+  bool fired = false;
+  engine.schedule(duration::seconds(10), [&] { fired = true; });
+  engine.run_until(duration::seconds(5));
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(engine.now(), duration::seconds(5));
+  engine.run_until(duration::seconds(10));
+  EXPECT_TRUE(fired);
+}
+
+TEST(Engine, WeakEventsDoNotKeepRunAlive) {
+  Engine engine;
+  int weak_fires = 0;
+  // A self-rescheduling housekeeping tick, like anti-entropy or polling.
+  std::function<void()> tick = [&] {
+    ++weak_fires;
+    engine.schedule_weak(duration::seconds(1), tick);
+  };
+  engine.schedule_weak(duration::seconds(1), tick);
+  bool strong_fired = false;
+  engine.schedule(duration::milliseconds(2500), [&] { strong_fired = true; });
+
+  engine.run();
+  EXPECT_TRUE(strong_fired);
+  // The weak ticks at 1 s and 2 s ran (they precede the strong event); the
+  // one at 3 s did not — run() stopped when only housekeeping remained.
+  EXPECT_EQ(weak_fires, 2);
+  EXPECT_EQ(engine.now(), duration::milliseconds(2500));
+}
+
+TEST(Engine, RunUntilExecutesWeakEvents) {
+  Engine engine;
+  int weak_fires = 0;
+  std::function<void()> tick = [&] {
+    ++weak_fires;
+    engine.schedule_weak(duration::seconds(1), tick);
+  };
+  engine.schedule_weak(duration::seconds(1), tick);
+  engine.run_until(duration::milliseconds(3500));
+  EXPECT_EQ(weak_fires, 3);
+}
+
+TEST(Engine, WeakEventCanSpawnStrongWork) {
+  Engine engine;
+  bool strong_done = false;
+  engine.schedule_weak(duration::seconds(1), [&] {
+    engine.schedule(duration::milliseconds(100), [&] { strong_done = true; });
+  });
+  // Nothing strong pending yet: run() stops immediately...
+  engine.run();
+  EXPECT_FALSE(strong_done);
+  // ...but run_until executes the tick, whose strong child then also runs.
+  engine.run_until(duration::seconds(1));
+  engine.run();
+  EXPECT_TRUE(strong_done);
+}
+
+TEST(Engine, CancelWeakTimer) {
+  Engine engine;
+  bool fired = false;
+  auto id = engine.schedule_weak(duration::seconds(1), [&] { fired = true; });
+  engine.cancel(id);
+  engine.run_until(duration::seconds(2));
+  EXPECT_FALSE(fired);
+}
+
+TEST(Engine, RunHonoursEventBudget) {
+  Engine engine;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) engine.schedule(i, [&] { ++count; });
+  EXPECT_EQ(engine.run(3), 3u);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Media, SerializeTimeScalesWithSize) {
+  auto eth = ethernet100();
+  // 1500 bytes + 66 overhead at 100 Mb/s = 125.28 us
+  EXPECT_NEAR(to_seconds(eth.serialize_time(1500)), 125.28e-6, 1e-7);
+  // ATM pays the cell tax.
+  auto atm = atm155();
+  double atm_goodput = 149.76e6 * (1.0 - 5.0 / 53.0);
+  EXPECT_NEAR(to_seconds(atm.serialize_time(9000)),
+              (9000 + 36) * 8.0 / atm_goodput, 1e-7);
+}
+
+TEST(Media, ModelsAreOrderedAsExpected) {
+  // Effective point-to-point large-message rate: myrinet > atm155 > eth100 > wan.
+  auto rate = [](const MediaModel& m) {
+    return 8192.0 / to_seconds(m.serialize_time(8192));
+  };
+  EXPECT_GT(rate(myrinet()), rate(atm155()));
+  EXPECT_GT(rate(atm155()), rate(ethernet100()));
+  EXPECT_GT(rate(ethernet100()), rate(wan_t3()));
+}
+
+class WorldTest : public ::testing::Test {
+ protected:
+  WorldTest() : world(42) {
+    world.create_network("lan", ethernet100());
+    auto& a = world.create_host("a");
+    auto& b = world.create_host("b");
+    world.attach(a, *world.network("lan"));
+    world.attach(b, *world.network("lan"));
+  }
+  World world;
+};
+
+TEST_F(WorldTest, DatagramDelivery) {
+  std::vector<Packet> received;
+  world.host("b")->bind(5000, [&](const Packet& p) { received.push_back(p); }).value();
+  world.host("a")->send({"b", 5000}, to_bytes("hello")).value();
+  world.engine().run();
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(to_string(received[0].payload), "hello");
+  EXPECT_EQ(received[0].src.host, "a");
+  EXPECT_EQ(received[0].network, "lan");
+}
+
+TEST_F(WorldTest, DeliveryTimeMatchesMediaModel) {
+  SimTime arrival = -1;
+  world.host("b")->bind(5000, [&](const Packet&) { arrival = world.now(); }).value();
+  world.host("a")->send({"b", 5000}, Bytes(1000, 0)).value();
+  world.engine().run();
+  auto eth = ethernet100();
+  EXPECT_EQ(arrival, eth.serialize_time(1000) + eth.latency);
+}
+
+TEST_F(WorldTest, BackToBackSendsQueueOnTheNic) {
+  std::vector<SimTime> arrivals;
+  world.host("b")->bind(5000, [&](const Packet&) { arrivals.push_back(world.now()); }).value();
+  world.host("a")->send({"b", 5000}, Bytes(1000, 0)).value();
+  world.host("a")->send({"b", 5000}, Bytes(1000, 0)).value();
+  world.engine().run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  auto eth = ethernet100();
+  // Second packet waits for the first to finish serializing.
+  EXPECT_EQ(arrivals[1] - arrivals[0], eth.serialize_time(1000));
+}
+
+TEST_F(WorldTest, OversizeDatagramRejected) {
+  auto r = world.host("a")->send({"b", 5000}, Bytes(2000, 0));
+  EXPECT_EQ(r.code(), Errc::invalid_argument);
+}
+
+TEST_F(WorldTest, UnknownHostAndNoSharedNetwork) {
+  EXPECT_EQ(world.host("a")->send({"ghost", 1}, Bytes{1}).code(), Errc::not_found);
+  world.create_host("island");
+  EXPECT_EQ(world.host("a")->send({"island", 1}, Bytes{1}).code(), Errc::unreachable);
+}
+
+TEST_F(WorldTest, UnboundPortCountsAsDrop) {
+  world.host("a")->send({"b", 9999}, Bytes{1}).value();
+  world.engine().run();
+  EXPECT_EQ(world.network("lan")->stats().drops_unbound, 1u);
+}
+
+TEST_F(WorldTest, BindConflictAndUnbind) {
+  auto h = [](const Packet&) {};
+  world.host("b")->bind(5000, h).value();
+  EXPECT_EQ(world.host("b")->bind(5000, h).code(), Errc::already_exists);
+  world.host("b")->unbind(5000);
+  EXPECT_TRUE(world.host("b")->bind(5000, h).ok());
+}
+
+TEST_F(WorldTest, EphemeralPortsDistinct) {
+  auto* a = world.host("a");
+  auto p1 = a->ephemeral_port();
+  a->bind(p1, [](const Packet&) {}).value();
+  auto p2 = a->ephemeral_port();
+  EXPECT_NE(p1, p2);
+  EXPECT_GE(p1, 49152);
+}
+
+TEST_F(WorldTest, DownHostDropsAtDelivery) {
+  int received = 0;
+  world.host("b")->bind(5000, [&](const Packet&) { ++received; }).value();
+  world.host("a")->send({"b", 5000}, Bytes{1}).value();
+  world.host("b")->set_up(false);  // dies while the packet is in flight
+  world.engine().run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(world.network("lan")->stats().drops_down, 1u);
+
+  // Host comes back: bindings survived the reboot.
+  world.host("b")->set_up(true);
+  world.host("a")->send({"b", 5000}, Bytes{1}).value();
+  world.engine().run();
+  EXPECT_EQ(received, 1);
+}
+
+TEST_F(WorldTest, DownSenderCannotSend) {
+  world.host("a")->set_up(false);
+  EXPECT_EQ(world.host("a")->send({"b", 5000}, Bytes{1}).code(), Errc::unreachable);
+}
+
+TEST_F(WorldTest, NetworkDownMakesUnreachable) {
+  world.network("lan")->set_up(false);
+  EXPECT_EQ(world.host("a")->send({"b", 5000}, Bytes{1}).code(), Errc::unreachable);
+}
+
+TEST(World, FastestSharedNetworkChosen) {
+  // §5.3: dual-homed hosts use the fastest common network.
+  World world(1);
+  world.create_network("eth", ethernet100());
+  world.create_network("atm", atm155());
+  auto& a = world.create_host("a");
+  auto& b = world.create_host("b");
+  world.attach(a, *world.network("eth"));
+  world.attach(a, *world.network("atm"));
+  world.attach(b, *world.network("eth"));
+  world.attach(b, *world.network("atm"));
+
+  EXPECT_EQ(a.send({"b", 1}, Bytes(100, 0)).value(), "atm");
+
+  // Preferred network overrides the speed ranking.
+  SendOptions opts;
+  opts.preferred_network = "eth";
+  EXPECT_EQ(a.send({"b", 1}, Bytes(100, 0), opts).value(), "eth");
+
+  // ATM NIC failure falls back to Ethernet (§6 route switching).
+  a.nic_on("atm")->set_up(false);
+  EXPECT_EQ(a.send({"b", 1}, Bytes(100, 0)).value(), "eth");
+}
+
+TEST(World, LossRateIsRespected) {
+  World world(7);
+  auto& net = world.create_network("lossy", internet_lossy());
+  net.set_extra_loss(0.19);  // total 20%
+  auto& a = world.create_host("a");
+  auto& b = world.create_host("b");
+  world.attach(a, net);
+  world.attach(b, net);
+  int received = 0;
+  b.bind(1, [&](const Packet&) { ++received; }).value();
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) a.send({"b", 1}, Bytes{1}).value();
+  world.engine().run();
+  EXPECT_NEAR(static_cast<double>(received) / n, 0.80, 0.03);
+  EXPECT_EQ(net.stats().drops_loss + net.stats().packets_delivered,
+            static_cast<std::uint64_t>(n));
+}
+
+TEST(World, BroadcastReachesAllOthers) {
+  World world(3);
+  auto& net = world.create_network("seg", ethernet100());
+  for (const char* name : {"a", "b", "c", "d"})
+    world.attach(world.create_host(name), net);
+  int got_b = 0, got_c = 0, got_d = 0, got_a = 0;
+  world.host("a")->bind(9, [&](const Packet&) { ++got_a; }).value();
+  world.host("b")->bind(9, [&](const Packet&) { ++got_b; }).value();
+  world.host("c")->bind(9, [&](const Packet&) { ++got_c; }).value();
+  world.host("d")->bind(9, [&](const Packet&) { ++got_d; }).value();
+  world.host("a")->broadcast("seg", 9, to_bytes("all")).value();
+  world.engine().run();
+  EXPECT_EQ(got_a, 0);  // sender does not hear itself
+  EXPECT_EQ(got_b, 1);
+  EXPECT_EQ(got_c, 1);
+  EXPECT_EQ(got_d, 1);
+}
+
+TEST(World, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    World world(1234);
+    auto& net = world.create_network("n", internet_lossy());
+    auto& a = world.create_host("a");
+    auto& b = world.create_host("b");
+    world.attach(a, net);
+    world.attach(b, net);
+    std::vector<SimTime> arrivals;
+    b.bind(1, [&](const Packet&) { arrivals.push_back(world.now()); }).value();
+    for (int i = 0; i < 200; ++i) a.send({"b", 1}, Bytes(100, 0)).value();
+    world.engine().run();
+    return arrivals;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace snipe::simnet

@@ -1,0 +1,235 @@
+// Unit tests for snipe_util: byte encoding, URIs, RNG, results, strings.
+#include <gtest/gtest.h>
+
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/time.hpp"
+#include "util/uri.hpp"
+
+namespace snipe {
+namespace {
+
+TEST(Bytes, RoundTripAllPrimitives) {
+  ByteWriter w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.i32(-42);
+  w.i64(-9'000'000'000LL);
+  w.f64(3.14159);
+  w.str("hello snipe");
+  w.blob({1, 2, 3});
+
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.u8().value(), 0xab);
+  EXPECT_EQ(r.u16().value(), 0x1234);
+  EXPECT_EQ(r.u32().value(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64().value(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.i32().value(), -42);
+  EXPECT_EQ(r.i64().value(), -9'000'000'000LL);
+  EXPECT_DOUBLE_EQ(r.f64().value(), 3.14159);
+  EXPECT_EQ(r.str().value(), "hello snipe");
+  EXPECT_EQ(r.blob().value(), (Bytes{1, 2, 3}));
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Bytes, NetworkByteOrderIsBigEndian) {
+  ByteWriter w;
+  w.u32(0x01020304);
+  EXPECT_EQ(w.bytes(), (Bytes{1, 2, 3, 4}));
+}
+
+TEST(Bytes, ShortReadsFailWithCorrupt) {
+  Bytes two{1, 2};
+  ByteReader r(two);
+  auto v = r.u32();
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.code(), Errc::corrupt);
+}
+
+TEST(Bytes, TruncatedStringBodyFails) {
+  ByteWriter w;
+  w.u32(100);  // claims 100 bytes follow
+  w.raw(to_bytes("short"));
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.str().code(), Errc::corrupt);
+}
+
+TEST(Bytes, EmptyStringAndBlobRoundTrip) {
+  ByteWriter w;
+  w.str("");
+  w.blob({});
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.str().value(), "");
+  EXPECT_TRUE(r.blob().value().empty());
+}
+
+TEST(Hex, EncodeDecodeRoundTrip) {
+  Bytes data{0x00, 0xff, 0x10, 0xab};
+  EXPECT_EQ(hex_encode(data), "00ff10ab");
+  EXPECT_EQ(hex_decode("00ff10ab").value(), data);
+  EXPECT_EQ(hex_decode("00FF10AB").value(), data);
+}
+
+TEST(Hex, RejectsBadInput) {
+  EXPECT_EQ(hex_decode("abc").code(), Errc::invalid_argument);
+  EXPECT_EQ(hex_decode("zz").code(), Errc::invalid_argument);
+}
+
+TEST(Result, ValueAndError) {
+  Result<int> good(7);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 7);
+  EXPECT_EQ(good.value_or(0), 7);
+
+  Result<int> bad(Errc::timeout, "too slow");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.code(), Errc::timeout);
+  EXPECT_EQ(bad.value_or(-1), -1);
+  EXPECT_EQ(bad.error().to_string(), "timeout: too slow");
+}
+
+TEST(Result, VoidSpecialization) {
+  Result<void> good = ok_result();
+  EXPECT_TRUE(good.ok());
+  Result<void> bad(Errc::not_found, "gone");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.code(), Errc::not_found);
+}
+
+TEST(Uri, ParsesSnipeUrl) {
+  auto uri = parse_uri("snipe://nodeA.utk.edu:7201/daemon").value();
+  EXPECT_EQ(uri.scheme, "snipe");
+  EXPECT_EQ(uri.host, "nodeA.utk.edu");
+  EXPECT_EQ(uri.port, 7201);
+  EXPECT_EQ(uri.path, "daemon");
+  EXPECT_EQ(uri.to_string(), "snipe://nodeA.utk.edu:7201/daemon");
+}
+
+TEST(Uri, ParsesUrn) {
+  auto uri = parse_uri("urn:snipe:proc:weather-17").value();
+  EXPECT_TRUE(uri.is_urn());
+  EXPECT_EQ(uri.path, "snipe:proc:weather-17");
+  EXPECT_EQ(uri.to_string(), "urn:snipe:proc:weather-17");
+}
+
+TEST(Uri, ParsesLifn) {
+  auto uri = parse_uri("lifn://utk.edu/ckpt/job42/3").value();
+  EXPECT_TRUE(uri.is_lifn());
+  EXPECT_EQ(uri.host, "utk.edu");
+  EXPECT_EQ(uri.path, "ckpt/job42/3");
+}
+
+TEST(Uri, NoPortDefaultsToZero) {
+  auto uri = parse_uri("http://www.netlib.org/SNIPE").value();
+  EXPECT_EQ(uri.port, 0);
+  EXPECT_EQ(uri.to_string(), "http://www.netlib.org/SNIPE");
+}
+
+TEST(Uri, SchemeIsCaseInsensitive) {
+  EXPECT_EQ(parse_uri("SNIPE://a/b").value().scheme, "snipe");
+}
+
+TEST(Uri, RejectsMalformed) {
+  EXPECT_FALSE(parse_uri("").ok());
+  EXPECT_FALSE(parse_uri("nocolon").ok());
+  EXPECT_FALSE(parse_uri(":leading").ok());
+  EXPECT_FALSE(parse_uri("snipe:/missing-slash").ok());
+  EXPECT_FALSE(parse_uri("snipe://").ok());
+  EXPECT_FALSE(parse_uri("snipe://host:/x").ok());
+  EXPECT_FALSE(parse_uri("snipe://host:abc/x").ok());
+  EXPECT_FALSE(parse_uri("snipe://host:99999/x").ok());
+  EXPECT_FALSE(parse_uri("urn:").ok());
+  EXPECT_FALSE(parse_uri("9bad://x/y").ok());
+}
+
+TEST(Uri, Builders) {
+  EXPECT_EQ(host_url("nodeA"), "snipe://nodeA:7201/daemon");
+  EXPECT_EQ(process_urn("p1"), "urn:snipe:proc:p1");
+  EXPECT_EQ(group_urn("g1"), "urn:snipe:group:g1");
+  EXPECT_EQ(service_lifn("utk.edu", "svc"), "lifn://utk.edu/svc");
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BoundsRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(10), 10u);
+    double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    double r = rng.next_range(5.0, 6.0);
+    EXPECT_GE(r, 5.0);
+    EXPECT_LT(r, 6.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceRoughlyCalibrated) {
+  Rng rng(7);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i)
+    if (rng.chance(0.3)) ++hits;
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(7);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.next_exponential(2.0);
+  EXPECT_NEAR(sum / n, 2.0, 0.1);
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng parent(9);
+  Rng child = parent.fork();
+  EXPECT_NE(parent.next_u64(), child.next_u64());
+}
+
+TEST(Strings, Split) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(Strings, TrimAndJoin) {
+  EXPECT_EQ(trim("  x y \t\n"), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(join({"a", "b"}, "::"), "a::b");
+  EXPECT_TRUE(starts_with("snipe://x", "snipe://"));
+  EXPECT_FALSE(starts_with("sn", "snipe"));
+}
+
+TEST(Time, DurationsCompose) {
+  EXPECT_EQ(duration::seconds(1), 1'000'000'000);
+  EXPECT_EQ(duration::milliseconds(1500), duration::seconds(1) + duration::milliseconds(500));
+  EXPECT_DOUBLE_EQ(to_seconds(duration::milliseconds(250)), 0.25);
+  EXPECT_EQ(from_seconds(0.25), duration::milliseconds(250));
+  EXPECT_EQ(format_time(duration::milliseconds(1500)), "1.500000s");
+}
+
+}  // namespace
+}  // namespace snipe
