@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fileserv.dir/bench_fileserv.cpp.o"
+  "CMakeFiles/bench_fileserv.dir/bench_fileserv.cpp.o.d"
+  "bench_fileserv"
+  "bench_fileserv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fileserv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

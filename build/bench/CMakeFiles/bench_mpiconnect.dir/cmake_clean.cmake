@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mpiconnect.dir/bench_mpiconnect.cpp.o"
+  "CMakeFiles/bench_mpiconnect.dir/bench_mpiconnect.cpp.o.d"
+  "bench_mpiconnect"
+  "bench_mpiconnect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mpiconnect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

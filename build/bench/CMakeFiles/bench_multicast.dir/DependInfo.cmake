@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_multicast.cpp" "bench/CMakeFiles/bench_multicast.dir/bench_multicast.cpp.o" "gcc" "bench/CMakeFiles/bench_multicast.dir/bench_multicast.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/snipe_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rm/CMakeFiles/snipe_rm.dir/DependInfo.cmake"
+  "/root/repo/build/src/daemon/CMakeFiles/snipe_daemon.dir/DependInfo.cmake"
+  "/root/repo/build/src/playground/CMakeFiles/snipe_playground.dir/DependInfo.cmake"
+  "/root/repo/build/src/files/CMakeFiles/snipe_files.dir/DependInfo.cmake"
+  "/root/repo/build/src/rcds/CMakeFiles/snipe_rcds.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/snipe_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/snipe_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/snipe_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/snipe_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

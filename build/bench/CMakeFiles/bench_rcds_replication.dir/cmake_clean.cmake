@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rcds_replication.dir/bench_rcds_replication.cpp.o"
+  "CMakeFiles/bench_rcds_replication.dir/bench_rcds_replication.cpp.o.d"
+  "bench_rcds_replication"
+  "bench_rcds_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rcds_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rm_scalability.dir/bench_rm_scalability.cpp.o"
+  "CMakeFiles/bench_rm_scalability.dir/bench_rm_scalability.cpp.o.d"
+  "bench_rm_scalability"
+  "bench_rm_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rm_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpi_connect_bridge.dir/mpi_connect_bridge.cpp.o"
+  "CMakeFiles/mpi_connect_bridge.dir/mpi_connect_bridge.cpp.o.d"
+  "mpi_connect_bridge"
+  "mpi_connect_bridge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpi_connect_bridge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weather_dss.dir/weather_dss.cpp.o"
+  "CMakeFiles/weather_dss.dir/weather_dss.cpp.o.d"
+  "weather_dss"
+  "weather_dss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weather_dss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

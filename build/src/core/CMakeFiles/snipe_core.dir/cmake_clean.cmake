@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snipe_core.dir/console.cpp.o"
+  "CMakeFiles/snipe_core.dir/console.cpp.o.d"
+  "CMakeFiles/snipe_core.dir/group.cpp.o"
+  "CMakeFiles/snipe_core.dir/group.cpp.o.d"
+  "CMakeFiles/snipe_core.dir/process.cpp.o"
+  "CMakeFiles/snipe_core.dir/process.cpp.o.d"
+  "libsnipe_core.a"
+  "libsnipe_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snipe_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

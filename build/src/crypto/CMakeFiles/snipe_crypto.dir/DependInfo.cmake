@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/bignum.cpp" "src/crypto/CMakeFiles/snipe_crypto.dir/bignum.cpp.o" "gcc" "src/crypto/CMakeFiles/snipe_crypto.dir/bignum.cpp.o.d"
+  "/root/repo/src/crypto/hash.cpp" "src/crypto/CMakeFiles/snipe_crypto.dir/hash.cpp.o" "gcc" "src/crypto/CMakeFiles/snipe_crypto.dir/hash.cpp.o.d"
+  "/root/repo/src/crypto/identity.cpp" "src/crypto/CMakeFiles/snipe_crypto.dir/identity.cpp.o" "gcc" "src/crypto/CMakeFiles/snipe_crypto.dir/identity.cpp.o.d"
+  "/root/repo/src/crypto/rsa.cpp" "src/crypto/CMakeFiles/snipe_crypto.dir/rsa.cpp.o" "gcc" "src/crypto/CMakeFiles/snipe_crypto.dir/rsa.cpp.o.d"
+  "/root/repo/src/crypto/session.cpp" "src/crypto/CMakeFiles/snipe_crypto.dir/session.cpp.o" "gcc" "src/crypto/CMakeFiles/snipe_crypto.dir/session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/snipe_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

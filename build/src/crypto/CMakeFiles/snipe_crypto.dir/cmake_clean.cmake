@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snipe_crypto.dir/bignum.cpp.o"
+  "CMakeFiles/snipe_crypto.dir/bignum.cpp.o.d"
+  "CMakeFiles/snipe_crypto.dir/hash.cpp.o"
+  "CMakeFiles/snipe_crypto.dir/hash.cpp.o.d"
+  "CMakeFiles/snipe_crypto.dir/identity.cpp.o"
+  "CMakeFiles/snipe_crypto.dir/identity.cpp.o.d"
+  "CMakeFiles/snipe_crypto.dir/rsa.cpp.o"
+  "CMakeFiles/snipe_crypto.dir/rsa.cpp.o.d"
+  "CMakeFiles/snipe_crypto.dir/session.cpp.o"
+  "CMakeFiles/snipe_crypto.dir/session.cpp.o.d"
+  "libsnipe_crypto.a"
+  "libsnipe_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snipe_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

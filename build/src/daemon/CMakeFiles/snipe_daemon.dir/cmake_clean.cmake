@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snipe_daemon.dir/daemon.cpp.o"
+  "CMakeFiles/snipe_daemon.dir/daemon.cpp.o.d"
+  "CMakeFiles/snipe_daemon.dir/task.cpp.o"
+  "CMakeFiles/snipe_daemon.dir/task.cpp.o.d"
+  "libsnipe_daemon.a"
+  "libsnipe_daemon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snipe_daemon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snipe_files.dir/fileserver.cpp.o"
+  "CMakeFiles/snipe_files.dir/fileserver.cpp.o.d"
+  "libsnipe_files.a"
+  "libsnipe_files.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snipe_files.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

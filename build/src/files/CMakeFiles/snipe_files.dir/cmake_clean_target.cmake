@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsnipe_files.a"
+)

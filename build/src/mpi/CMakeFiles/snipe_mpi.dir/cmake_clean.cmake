@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snipe_mpi.dir/bridge.cpp.o"
+  "CMakeFiles/snipe_mpi.dir/bridge.cpp.o.d"
+  "CMakeFiles/snipe_mpi.dir/mpi.cpp.o"
+  "CMakeFiles/snipe_mpi.dir/mpi.cpp.o.d"
+  "CMakeFiles/snipe_mpi.dir/pvm.cpp.o"
+  "CMakeFiles/snipe_mpi.dir/pvm.cpp.o.d"
+  "libsnipe_mpi.a"
+  "libsnipe_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snipe_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

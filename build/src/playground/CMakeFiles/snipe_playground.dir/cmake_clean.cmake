@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snipe_playground.dir/playground.cpp.o"
+  "CMakeFiles/snipe_playground.dir/playground.cpp.o.d"
+  "CMakeFiles/snipe_playground.dir/svm.cpp.o"
+  "CMakeFiles/snipe_playground.dir/svm.cpp.o.d"
+  "CMakeFiles/snipe_playground.dir/svmasm.cpp.o"
+  "CMakeFiles/snipe_playground.dir/svmasm.cpp.o.d"
+  "libsnipe_playground.a"
+  "libsnipe_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snipe_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snipe_rcds.dir/assertion.cpp.o"
+  "CMakeFiles/snipe_rcds.dir/assertion.cpp.o.d"
+  "CMakeFiles/snipe_rcds.dir/client.cpp.o"
+  "CMakeFiles/snipe_rcds.dir/client.cpp.o.d"
+  "CMakeFiles/snipe_rcds.dir/server.cpp.o"
+  "CMakeFiles/snipe_rcds.dir/server.cpp.o.d"
+  "CMakeFiles/snipe_rcds.dir/signed.cpp.o"
+  "CMakeFiles/snipe_rcds.dir/signed.cpp.o.d"
+  "libsnipe_rcds.a"
+  "libsnipe_rcds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snipe_rcds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for snipe_rcds.
+# This may be replaced when dependencies are built.

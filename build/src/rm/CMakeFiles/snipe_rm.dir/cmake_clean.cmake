@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snipe_rm.dir/resource_manager.cpp.o"
+  "CMakeFiles/snipe_rm.dir/resource_manager.cpp.o.d"
+  "libsnipe_rm.a"
+  "libsnipe_rm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snipe_rm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

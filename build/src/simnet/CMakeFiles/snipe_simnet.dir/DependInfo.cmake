@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simnet/engine.cpp" "src/simnet/CMakeFiles/snipe_simnet.dir/engine.cpp.o" "gcc" "src/simnet/CMakeFiles/snipe_simnet.dir/engine.cpp.o.d"
+  "/root/repo/src/simnet/media.cpp" "src/simnet/CMakeFiles/snipe_simnet.dir/media.cpp.o" "gcc" "src/simnet/CMakeFiles/snipe_simnet.dir/media.cpp.o.d"
+  "/root/repo/src/simnet/world.cpp" "src/simnet/CMakeFiles/snipe_simnet.dir/world.cpp.o" "gcc" "src/simnet/CMakeFiles/snipe_simnet.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/snipe_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snipe_simnet.dir/engine.cpp.o"
+  "CMakeFiles/snipe_simnet.dir/engine.cpp.o.d"
+  "CMakeFiles/snipe_simnet.dir/media.cpp.o"
+  "CMakeFiles/snipe_simnet.dir/media.cpp.o.d"
+  "CMakeFiles/snipe_simnet.dir/world.cpp.o"
+  "CMakeFiles/snipe_simnet.dir/world.cpp.o.d"
+  "libsnipe_simnet.a"
+  "libsnipe_simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snipe_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

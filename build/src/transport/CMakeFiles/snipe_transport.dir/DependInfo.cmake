@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/ethmcast.cpp" "src/transport/CMakeFiles/snipe_transport.dir/ethmcast.cpp.o" "gcc" "src/transport/CMakeFiles/snipe_transport.dir/ethmcast.cpp.o.d"
+  "/root/repo/src/transport/multipath.cpp" "src/transport/CMakeFiles/snipe_transport.dir/multipath.cpp.o" "gcc" "src/transport/CMakeFiles/snipe_transport.dir/multipath.cpp.o.d"
+  "/root/repo/src/transport/rpc.cpp" "src/transport/CMakeFiles/snipe_transport.dir/rpc.cpp.o" "gcc" "src/transport/CMakeFiles/snipe_transport.dir/rpc.cpp.o.d"
+  "/root/repo/src/transport/srudp.cpp" "src/transport/CMakeFiles/snipe_transport.dir/srudp.cpp.o" "gcc" "src/transport/CMakeFiles/snipe_transport.dir/srudp.cpp.o.d"
+  "/root/repo/src/transport/stream.cpp" "src/transport/CMakeFiles/snipe_transport.dir/stream.cpp.o" "gcc" "src/transport/CMakeFiles/snipe_transport.dir/stream.cpp.o.d"
+  "/root/repo/src/transport/wire.cpp" "src/transport/CMakeFiles/snipe_transport.dir/wire.cpp.o" "gcc" "src/transport/CMakeFiles/snipe_transport.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simnet/CMakeFiles/snipe_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/snipe_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/snipe_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snipe_transport.dir/ethmcast.cpp.o"
+  "CMakeFiles/snipe_transport.dir/ethmcast.cpp.o.d"
+  "CMakeFiles/snipe_transport.dir/multipath.cpp.o"
+  "CMakeFiles/snipe_transport.dir/multipath.cpp.o.d"
+  "CMakeFiles/snipe_transport.dir/rpc.cpp.o"
+  "CMakeFiles/snipe_transport.dir/rpc.cpp.o.d"
+  "CMakeFiles/snipe_transport.dir/srudp.cpp.o"
+  "CMakeFiles/snipe_transport.dir/srudp.cpp.o.d"
+  "CMakeFiles/snipe_transport.dir/stream.cpp.o"
+  "CMakeFiles/snipe_transport.dir/stream.cpp.o.d"
+  "CMakeFiles/snipe_transport.dir/wire.cpp.o"
+  "CMakeFiles/snipe_transport.dir/wire.cpp.o.d"
+  "libsnipe_transport.a"
+  "libsnipe_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snipe_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snipe_util.dir/bytes.cpp.o"
+  "CMakeFiles/snipe_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/snipe_util.dir/log.cpp.o"
+  "CMakeFiles/snipe_util.dir/log.cpp.o.d"
+  "CMakeFiles/snipe_util.dir/result.cpp.o"
+  "CMakeFiles/snipe_util.dir/result.cpp.o.d"
+  "CMakeFiles/snipe_util.dir/rng.cpp.o"
+  "CMakeFiles/snipe_util.dir/rng.cpp.o.d"
+  "CMakeFiles/snipe_util.dir/strings.cpp.o"
+  "CMakeFiles/snipe_util.dir/strings.cpp.o.d"
+  "CMakeFiles/snipe_util.dir/uri.cpp.o"
+  "CMakeFiles/snipe_util.dir/uri.cpp.o.d"
+  "libsnipe_util.a"
+  "libsnipe_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snipe_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

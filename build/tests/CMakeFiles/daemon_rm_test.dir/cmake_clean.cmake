@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daemon_rm_test.dir/daemon_rm_test.cpp.o"
+  "CMakeFiles/daemon_rm_test.dir/daemon_rm_test.cpp.o.d"
+  "daemon_rm_test"
+  "daemon_rm_test.pdb"
+  "daemon_rm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daemon_rm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/files_test.dir/files_test.cpp.o"
+  "CMakeFiles/files_test.dir/files_test.cpp.o.d"
+  "files_test"
+  "files_test.pdb"
+  "files_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/files_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

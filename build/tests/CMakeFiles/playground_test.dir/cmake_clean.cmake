@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/playground_test.dir/playground_test.cpp.o"
+  "CMakeFiles/playground_test.dir/playground_test.cpp.o.d"
+  "playground_test"
+  "playground_test.pdb"
+  "playground_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/playground_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

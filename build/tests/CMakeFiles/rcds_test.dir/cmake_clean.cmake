@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcds_test.dir/rcds_test.cpp.o"
+  "CMakeFiles/rcds_test.dir/rcds_test.cpp.o.d"
+  "rcds_test"
+  "rcds_test.pdb"
+  "rcds_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
