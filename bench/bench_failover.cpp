@@ -25,6 +25,7 @@ void BM_Failover(benchmark::State& state) {
   int delivered = 0, switches = 0;
 
   for (auto _ : state) {
+    reset_metrics();
     simnet::World world(7000);
     world.create_network("atm", simnet::atm155());
     world.create_network("eth", simnet::ethernet100());
@@ -65,6 +66,8 @@ void BM_Failover(benchmark::State& state) {
   state.counters["route_switches"] = switches;
   state.counters["delivered"] = delivered;
   state.counters["sim_total_s"] = total_s;
+  embed_metrics(state, "srudp.");
+  embed_metrics(state, "multipath.");
   state.SetLabel("threshold=" + std::to_string(failover_threshold));
 }
 

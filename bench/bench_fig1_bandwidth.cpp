@@ -63,6 +63,7 @@ void BM_Fig1(benchmark::State& state) {
 
   double secs = 0;
   for (auto _ : state) {
+    reset_metrics();
     simnet::MediaModel media = media_by_index(media_index);
     secs = protocol == 0 ? run_srudp(media, size, count, 0.0)
                          : run_stream(media, size, count, 0.0);
@@ -74,6 +75,10 @@ void BM_Fig1(benchmark::State& state) {
   double bytes = static_cast<double>(size) * count;
   state.counters["sim_MBps"] = bytes / secs / 1e6;
   state.counters["msg_bytes"] = static_cast<double>(size);
+  // Retained totals survive the endpoints (destroyed inside run_srudp), so
+  // the snapshot still carries the whole transfer: retransmit count, RTT
+  // percentiles, delivered bytes.
+  if (protocol == 0) embed_metrics(state, "srudp.");
   state.SetLabel(std::string(protocol == 0 ? "SNIPE-srudp" : "TCP") + "/" +
                  media_name(media_index));
 }
@@ -148,6 +153,7 @@ void BM_LossAblation(benchmark::State& state) {
   const double loss = static_cast<double>(state.range(1)) / 1000.0;
   double secs = 0;
   for (auto _ : state) {
+    reset_metrics();
     secs = protocol == 0 ? run_srudp(simnet::wan_t3(), 65536, 64, loss)
                          : run_stream(simnet::wan_t3(), 65536, 64, loss);
   }
@@ -157,6 +163,7 @@ void BM_LossAblation(benchmark::State& state) {
   }
   state.counters["sim_MBps"] = 64.0 * 65536 / secs / 1e6;
   state.counters["loss_pct"] = loss * 100;
+  if (protocol == 0) embed_metrics(state, "srudp.");
   state.SetLabel(protocol == 0 ? "SNIPE-srudp" : "TCP");
 }
 

@@ -28,6 +28,7 @@ void BM_RcdsReplication(benchmark::State& state) {
   double write_rate = 0, read_rate = 0;
 
   for (auto _ : state) {
+    reset_metrics();
     simnet::World world(5000 + static_cast<std::uint64_t>(replicas));
     auto& lan = world.create_network("lan", simnet::ethernet100());
 
@@ -97,6 +98,7 @@ void BM_RcdsReplication(benchmark::State& state) {
 
   state.counters["sim_writes_per_s"] = write_rate;
   state.counters["sim_reads_per_s"] = read_rate;
+  embed_metrics(state, "rcds.");
   state.SetLabel(std::string(single_master ? "single-master(LDAP-style)" : "master-master") +
                  ", " + std::to_string(replicas) + " replicas");
 }

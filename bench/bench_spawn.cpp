@@ -38,6 +38,7 @@ void BM_SpawnPath(benchmark::State& state) {
   double per_spawn_ms = 0;
 
   for (auto _ : state) {
+    reset_metrics();
     simnet::World world(8000);
     auto& lan = world.create_network("lan", simnet::ethernet100());
     for (const char* n : {"rc", "node", "rmhost", "client"})
@@ -99,6 +100,8 @@ void BM_SpawnPath(benchmark::State& state) {
   }
 
   state.counters["sim_ms_per_spawn"] = per_spawn_ms;
+  embed_metrics(state, "rm.");
+  embed_metrics(state, "daemon.");
   static const char* names[] = {"direct-daemon", "RM-active", "RM-passive",
                                 "RM-active+session"};
   state.SetLabel(std::string(names[path]) + (secure && path != 3 ? " +auth" : ""));

@@ -8,9 +8,57 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "simnet/world.hpp"
 
 namespace snipe::bench {
+
+/// SNIPE_BENCH_METRICS=0 (or "off") disables the metrics registry and the
+/// tracer for the whole bench run — the opt-out knob used to measure
+/// instrumentation overhead against an uninstrumented baseline.
+inline bool metrics_enabled() {
+  static const bool enabled = [] {
+    const char* env = std::getenv("SNIPE_BENCH_METRICS");
+    bool on = !(env != nullptr &&
+                (std::string(env) == "0" || std::string(env) == "off"));
+    obs::MetricsRegistry::global().set_enabled(on);
+    obs::Tracer::global().set_enabled(on);
+    return on;
+  }();
+  return enabled;
+}
+
+/// Clears global metric/trace state so one bench case cannot pollute the
+/// next (cases run back-to-back in one process).
+inline void reset_metrics() {
+  metrics_enabled();
+  obs::MetricsRegistry::global().reset();
+  obs::Tracer::global().clear();
+}
+
+/// Copies the registry snapshot into google-benchmark counters (prefixed
+/// "m:"), so --benchmark_out JSON embeds the run's metrics next to the
+/// virtual-time results.  `prefix` filters by metric name ("" = all).
+inline void embed_metrics(benchmark::State& state, const std::string& prefix = "") {
+  if (!metrics_enabled()) return;
+  for (const auto& m : obs::MetricsRegistry::global().snapshot()) {
+    if (!prefix.empty() && m.name.rfind(prefix, 0) != 0) continue;
+    if (m.kind == obs::MetricValue::Kind::histogram) {
+      if (m.count == 0) continue;
+      state.counters["m:" + m.name + ".count"] = static_cast<double>(m.count);
+      state.counters["m:" + m.name + ".p50"] = m.p50;
+      state.counters["m:" + m.name + ".p95"] = m.p95;
+      state.counters["m:" + m.name + ".p99"] = m.p99;
+    } else {
+      if (m.value == 0) continue;  // keep the JSON readable
+      state.counters["m:" + m.name] = m.value;
+    }
+  }
+}
 
 /// Media indexed by bench argument.
 inline simnet::MediaModel media_by_index(int i) {

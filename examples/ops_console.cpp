@@ -9,12 +9,18 @@
 //  "there is no SNIPE virtual machine apart from the entire Internet",
 //  every query starts from a name: a host URL, a process URN, a group URN.
 //
+//  The session ends with the observability view of the same run: the
+//  operator's `metrics` command, a full metrics snapshot, and a Chrome
+//  trace dumped to ops_console_trace.json (open it at ui.perfetto.dev).
+//
 //   $ ./ops_console
 #include <cstdio>
 
 #include "core/console.hpp"
 #include "core/group.hpp"
 #include "core/process.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rcds/server.hpp"
 #include "rm/resource_manager.hpp"
 #include "util/uri.hpp"
@@ -80,6 +86,7 @@ int main() {
       "meta " + host_uri,
       "routers " + group_urn("ops-alerts"),
       "state urn:snipe:proc:does-not-exist",
+      "metrics rcds.",
       "help",
   };
   for (const auto& line : commands) {
@@ -96,5 +103,13 @@ int main() {
     world.engine().run();
   }
   std::printf("== session over at t=%s ==\n", format_time(world.now()).c_str());
+
+  // What the whole run looked like to the observability subsystem.
+  std::printf("\n== metrics snapshot ==\n%s",
+              obs::MetricsRegistry::global().format_text().c_str());
+  const char* trace_path = "ops_console_trace.json";
+  if (obs::Tracer::global().write_chrome_json(trace_path))
+    std::printf("== trace: %zu events -> %s (load in ui.perfetto.dev) ==\n",
+                obs::Tracer::global().events().size(), trace_path);
   return 0;
 }

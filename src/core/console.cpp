@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "obs/metrics.hpp"
 #include "util/strings.hpp"
 
 namespace snipe::core {
@@ -59,7 +60,23 @@ void Console::interpret(const std::string& line, std::function<void(std::string)
                          });
     return;
   }
-  reply("usage: ps <host-url> | state <urn> | meta <uri> | where <urn> | routers <group>");
+  if (verb == "metrics") {
+    // Operator scrape of the whole simulation's registry (optionally
+    // filtered by prefix: "metrics srudp.").
+    std::string out = obs::MetricsRegistry::global().format_text();
+    if (!arg.empty()) {
+      std::istringstream lines(out);
+      std::string filtered, l;
+      while (std::getline(lines, l))
+        if (l.rfind(arg, 0) == 0) filtered += l + "\n";
+      out = std::move(filtered);
+    }
+    reply(out.empty() ? "(no metrics recorded)" : out);
+    return;
+  }
+  reply(
+      "usage: ps <host-url> | state <urn> | meta <uri> | where <urn> | routers <group> | "
+      "metrics [prefix]");
 }
 
 Bytes HttpRequest::encode() const {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/group.hpp"
+#include "obs/trace.hpp"
 #include "util/strings.hpp"
 #include "util/uri.hpp"
 
@@ -346,6 +347,10 @@ void SnipeProcess::migrate_to(simnet::Host& new_host, DoneHandler done) {
 
   log_.info("migrated ", urn_, " from ", old_host->name(), ":", old_address.port, " to ",
             new_host.name(), ":", new_address.port);
+  obs::Tracer::global().instant("core", "process.migrated",
+                                {{"urn", urn_},
+                                 {"from", old_host->name()},
+                                 {"to", new_host.name()}});
 
   // 4. "After migration the process updates RC servers with its new
   //    location..."

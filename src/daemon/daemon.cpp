@@ -1,5 +1,6 @@
 #include "daemon/daemon.hpp"
 
+#include "obs/trace.hpp"
 #include "util/strings.hpp"
 #include "util/uri.hpp"
 
@@ -227,6 +228,7 @@ SnipeDaemon::SnipeDaemon(simnet::Host& host, std::vector<simnet::Address> rc_rep
 
   // Unreliable health responder (see ping_port()).
   host_.bind(ping_port(), [this](const simnet::Packet& p) {
+            heartbeats_->inc();
             ByteWriter w;
             w.f64(load());
             w.u32(static_cast<std::uint32_t>(running_tasks()));
@@ -240,6 +242,13 @@ SnipeDaemon::SnipeDaemon(simnet::Host& host, std::vector<simnet::Address> rc_rep
 
   publish_host_metadata();
   engine_.schedule_weak(config_.load_report_period, [this] { publish_load(); });
+  heartbeats_ = &obs::MetricsRegistry::global().counter("daemon.heartbeats");
+  metrics_sources_.add("daemon.spawns_ok", [this] { return stats_.spawns_ok; });
+  metrics_sources_.add("daemon.spawns_rejected", [this] { return stats_.spawns_rejected; });
+  metrics_sources_.add("daemon.signals_delivered",
+                       [this] { return stats_.signals_delivered; });
+  metrics_sources_.add("daemon.checkpoints", [this] { return stats_.checkpoints; });
+  metrics_sources_.add("daemon.events_sent", [this] { return stats_.events_sent; });
 }
 
 std::string SnipeDaemon::host_url() const {
@@ -335,6 +344,12 @@ Result<void> SnipeDaemon::check_authorization(const SpawnRequest& request) const
 void SnipeDaemon::set_state(TaskEntry& entry, TaskState state, const std::string& detail) {
   if (entry.state == state) return;
   entry.state = state;
+  obs::Tracer::global().instant(
+      "daemon", std::string("task.") + task_state_name(state),
+      detail.empty()
+          ? std::vector<std::pair<std::string, std::string>>{{"urn", entry.task_urn}}
+          : std::vector<std::pair<std::string, std::string>>{{"urn", entry.task_urn},
+                                                             {"detail", detail}});
   log_.debug(entry.task_urn, " -> ", task_state_name(state),
              detail.empty() ? "" : (": " + detail));
   // Publish as process metadata (§5.2.3) ...

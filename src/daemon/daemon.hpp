@@ -27,6 +27,7 @@
 #include "crypto/session.hpp"
 #include "daemon/task.hpp"
 #include "files/fileserver.hpp"
+#include "obs/metrics.hpp"
 #include "playground/playground.hpp"
 #include "rcds/client.hpp"
 #include "transport/rpc.hpp"
@@ -156,7 +157,10 @@ class SnipeDaemon {
   std::map<simnet::Address, crypto::Session> sessions_;
   std::uint64_t next_task_seq_ = 1;
   DaemonStats stats_;
+  obs::Counter* heartbeats_;  ///< global "daemon.heartbeats" (pongs answered)
   Logger log_;
+  /// Declared last so sources retire before stats_ dies.
+  obs::SourceGroup metrics_sources_;
 };
 
 }  // namespace snipe::daemon

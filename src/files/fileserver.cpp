@@ -52,6 +52,7 @@ FileServer::FileServer(simnet::Host& host, std::vector<simnet::Address> rc_repli
     auto it = store_.find(lifn.value());
     if (it == store_.end()) return Result<Bytes>(Errc::not_found, lifn.value());
     ++stats_.fetches;
+    bytes_served_->inc(it->second.size());
     ByteWriter w;
     w.blob(it->second);
     return std::move(w).take();
@@ -105,6 +106,7 @@ FileServer::FileServer(simnet::Host& host, std::vector<simnet::Address> rc_repli
                auto it = store_.find(lifn.value());
                if (it == store_.end()) return Result<Bytes>(Errc::not_found, lifn.value());
                ++stats_.source_sessions;
+               bytes_served_->inc(it->second.size());
                // Stream the file as a sequence of one-way SNIPE messages.
                const Bytes& content = it->second;
                simnet::Address dst{dst_host.value(), dst_port.value()};
@@ -152,6 +154,17 @@ FileServer::FileServer(simnet::Host& host, std::vector<simnet::Address> rc_repli
     rc_.remove(lifn.value(), rcds::names::kLifnLocation, location_url(), [](Result<void>) {});
     return Bytes{};
   });
+
+  bytes_served_ = &obs::MetricsRegistry::global().counter("files.bytes_served");
+  metrics_sources_.add("files.stores", [this] { return stats_.stores; });
+  metrics_sources_.add("files.fetches", [this] { return stats_.fetches; });
+  metrics_sources_.add("files.sink_sessions", [this] { return stats_.sink_sessions; });
+  metrics_sources_.add("files.source_sessions", [this] { return stats_.source_sessions; });
+  metrics_sources_.add("files.replicas_pushed", [this] { return stats_.replicas_pushed; });
+  metrics_sources_.add("files.replicas_received",
+                       [this] { return stats_.replicas_received; });
+  metrics_sources_.add("files.repairs", [this] { return stats_.repairs; });
+  metrics_sources_.add("files.bytes_stored", [this] { return stats_.bytes_stored; });
 }
 
 std::string FileServer::location_url() const {

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "crypto/hash.hpp"
+#include "obs/metrics.hpp"
 #include "rcds/client.hpp"
 #include "transport/rpc.hpp"
 
@@ -106,7 +107,10 @@ class FileServer {
   std::map<std::uint64_t, Sink> sinks_;
   std::uint64_t next_sink_id_ = 1;
   FileServerStats stats_;
+  obs::Counter* bytes_served_;  ///< global "files.bytes_served" (fetch + source)
   Logger log_;
+  /// Declared last so sources retire before stats_ dies.
+  obs::SourceGroup metrics_sources_;
 };
 
 /// Client-side file I/O: sink-based writes, closest-replica source reads,

@@ -1,0 +1,113 @@
+// Virtual-time tracing: span and instant events recorded into a bounded
+// ring buffer and exportable as Chrome `trace_event` JSON, so a spawn on
+// host A -> SRUDP retransmit -> multipath failover -> migration sequence
+// renders as one timeline in chrome://tracing or https://ui.perfetto.dev.
+//
+// Timestamps come from an installed clock — the simnet Engine installs its
+// virtual clock for its lifetime (the same pattern as set_log_time_source
+// in util/log.hpp) — and fall back to a wall clock so the tracer also
+// works outside a simulation.  Each event carries a category ("transport",
+// "rcds", "rm", "daemon", "core", ...) which becomes a named track in the
+// exported trace.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace snipe::obs {
+
+struct TraceEvent {
+  enum class Phase : char {
+    complete = 'X',  ///< span with start + duration
+    instant = 'i',
+  };
+  Phase phase = Phase::instant;
+  std::string cat;
+  std::string name;
+  std::int64_t ts = 0;   ///< nanoseconds (virtual or wall)
+  std::int64_t dur = 0;  ///< nanoseconds, complete events only
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+/// Handle for an in-flight span; 0 is "null" (e.g. tracer disabled at
+/// begin time) and safe to end.
+using SpanId = std::uint64_t;
+
+class Tracer {
+ public:
+  using Args = std::vector<std::pair<std::string, std::string>>;
+
+  explicit Tracer(std::size_t capacity = 16384);
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// The process-wide tracer every component reports into.
+  static Tracer& global();
+
+  void set_enabled(bool enabled);
+  bool enabled() const;
+
+  /// Installs the time source (nullptr restores the wall clock).
+  void set_clock(std::function<std::int64_t()> clock);
+  /// Current trace time: installed clock, else nanoseconds of wall time
+  /// since the process started.
+  std::int64_t now() const;
+
+  /// Drops every recorded event (open spans survive) and resets the
+  /// dropped-event count.  `set_capacity` also clears.
+  void clear();
+  void set_capacity(std::size_t capacity);
+  std::size_t capacity() const;
+
+  /// Records a zero-duration event.
+  void instant(std::string cat, std::string name, Args args = {});
+
+  /// Starts a span; `end_span` records it as a complete event stamped with
+  /// the begin time and the elapsed duration.  Spans may cross async
+  /// callbacks — carry the SpanId in the completion.
+  SpanId begin_span(std::string cat, std::string name);
+  void end_span(SpanId id, Args args = {});
+
+  /// Records a pre-measured complete event.
+  void complete(std::string cat, std::string name, std::int64_t ts, std::int64_t dur,
+                Args args = {});
+
+  /// Events in record order, oldest first (the buffer keeps the newest
+  /// `capacity()` events; `dropped()` counts the overwritten ones).
+  std::vector<TraceEvent> events() const;
+  std::uint64_t dropped() const;
+
+  /// Chrome trace_event JSON ({"traceEvents": [...]}); timestamps in
+  /// microseconds, one named track per category.
+  std::string chrome_json() const;
+  /// Writes chrome_json() to `path`; returns false on I/O failure.
+  bool write_chrome_json(const std::string& path) const;
+
+ private:
+  struct OpenSpan {
+    std::string cat;
+    std::string name;
+    std::int64_t start = 0;
+  };
+
+  void push(TraceEvent event);
+
+  mutable std::mutex mu_;
+  bool enabled_ = true;
+  std::function<std::int64_t()> clock_;
+  std::vector<TraceEvent> ring_;
+  std::size_t capacity_;
+  std::size_t next_ = 0;  ///< ring write index
+  std::size_t size_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::map<SpanId, OpenSpan> open_;
+  SpanId next_span_ = 1;
+};
+
+}  // namespace snipe::obs

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/trace.hpp"
+
 namespace snipe::rcds {
 
 namespace {
@@ -36,6 +38,10 @@ RcClient::RcClient(transport::RpcEndpoint& rpc, std::vector<simnet::Address> rep
                    RcClientConfig config)
     : rpc_(rpc), replicas_(std::move(replicas)), config_(config) {
   assert(!replicas_.empty() && "RcClient needs at least one replica");
+  metrics_sources_.add("rcds.client.lookups", [this] { return stats_.lookups; });
+  metrics_sources_.add("rcds.client.writes", [this] { return stats_.writes; });
+  metrics_sources_.add("rcds.client.failovers", [this] { return stats_.failovers; });
+  metrics_sources_.add("rcds.client.failures", [this] { return stats_.failures; });
 }
 
 void RcClient::get(const std::string& uri, AssertionsHandler done) {
@@ -81,6 +87,9 @@ void RcClient::attempt(std::uint32_t tag, Bytes body, std::size_t replica_index,
           }
           if (tries_left > 1) {
             ++stats_.failovers;
+            obs::Tracer::global().instant(
+                "rcds", "rcds.client_failover",
+                {{"from", replicas_[replica_index % replicas_.size()].to_string()}});
             preferred_ = (replica_index + 1) % replicas_.size();
             attempt(tag, std::move(body), replica_index + 1, tries_left - 1, std::move(done));
           } else {

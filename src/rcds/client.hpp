@@ -63,6 +63,9 @@ class RcClient {
   RcClientConfig config_;
   std::size_t preferred_ = 0;
   RcClientStats stats_;
+  /// Pull sources "rcds.client.*" in the global registry; declared last so
+  /// they retire (fold into retained totals) before stats_ dies.
+  obs::SourceGroup metrics_sources_;
 };
 
 }  // namespace snipe::rcds

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
+
 namespace snipe::rcds {
 
 Bytes encode_update(const std::string& uri, const std::vector<Assertion>& assertions) {
@@ -51,6 +53,19 @@ RcServer::RcServer(simnet::Host& host, std::uint16_t port, RcServerConfig config
   if (config_.anti_entropy_period > 0) {
     engine_.schedule_weak(config_.anti_entropy_period, [this] { anti_entropy_tick(); });
   }
+  auto& registry = obs::MetricsRegistry::global();
+  replication_lag_ms_ = &registry.histogram("rcds.replication_lag_ms");
+  catalog_hits_ = &registry.counter("rcds.catalog_hits");
+  catalog_misses_ = &registry.counter("rcds.catalog_misses");
+  metrics_sources_.add("rcds.gets", [this] { return stats_.gets; });
+  metrics_sources_.add("rcds.applies", [this] { return stats_.applies; });
+  metrics_sources_.add("rcds.replicated_in", [this] { return stats_.replicated_in; });
+  metrics_sources_.add("rcds.replicated_out", [this] { return stats_.replicated_out; });
+  metrics_sources_.add("rcds.anti_entropy_rounds",
+                       [this] { return stats_.anti_entropy_rounds; });
+  metrics_sources_.add("rcds.anti_entropy_repairs",
+                       [this] { return stats_.anti_entropy_repairs; });
+  metrics_sources_.add("rcds.forwards", [this] { return stats_.forwards; });
 }
 
 void RcServer::set_peers(std::vector<simnet::Address> peers) { peers_ = std::move(peers); }
@@ -87,6 +102,9 @@ std::vector<Assertion> RcServer::apply(const std::string& uri, const std::vector
     }
   }
   ++stats_.applies;
+  obs::Tracer::global().instant(
+      "rcds", "rcds.apply",
+      {{"uri", uri}, {"assertions", std::to_string(written.size())}});
   if (!written.empty()) broadcast_update(uri, written);
   return written;
 }
@@ -107,6 +125,10 @@ Result<Bytes> RcServer::handle_get(const Bytes& body) {
   if (!uri) return uri.error();
   ++stats_.gets;
   auto it = store_.find(uri.value());
+  if (it == store_.end())
+    catalog_misses_->inc();
+  else
+    catalog_hits_->inc();
   std::vector<Assertion> live = it == store_.end() ? std::vector<Assertion>{} : it->second.live();
   return encode_update(uri.value(), live);
 }
@@ -145,7 +167,14 @@ void RcServer::handle_replicate(const Bytes& body) {
     return;
   }
   Record& record = store_[update.value().first];
-  for (const auto& a : update.value().second) record.merge(a);
+  // Replication lag: virtual time from the originating server's stamp to
+  // this replica merging the assertion.
+  SimTime now = engine_.now();
+  for (const auto& a : update.value().second) {
+    record.merge(a);
+    if (a.timestamp <= now)
+      replication_lag_ms_->observe(static_cast<double>(now - a.timestamp) / 1e6);
+  }
   ++stats_.replicated_in;
 }
 

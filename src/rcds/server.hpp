@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "rcds/assertion.hpp"
 #include "transport/rpc.hpp"
 
@@ -96,7 +97,12 @@ class RcServer {
   /// writes land in the same event-time instant.
   SimTime last_stamp_ = 0;
   RcServerStats stats_;
+  obs::Histogram* replication_lag_ms_;  ///< global "rcds.replication_lag_ms"
+  obs::Counter* catalog_hits_;          ///< global "rcds.catalog_hits"
+  obs::Counter* catalog_misses_;        ///< global "rcds.catalog_misses"
   Logger log_;
+  /// Declared last so sources retire before stats_ dies.
+  obs::SourceGroup metrics_sources_;
 };
 
 /// Encodes a batch of assertions for one URI (shared by replicate/sync).

@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "obs/trace.hpp"
 #include "util/uri.hpp"
 
 namespace snipe::rm {
@@ -139,6 +140,18 @@ ResourceManager::ResourceManager(simnet::Host& host, std::vector<simnet::Address
       })
       .value();
   engine_.schedule_weak(config_.monitor_period, [this] { poll_hosts(); });
+  auto& registry = obs::MetricsRegistry::global();
+  spawn_latency_ms_ = &registry.histogram("rm.spawn_latency_ms");
+  metrics_sources_.add("rm.allocations", [this] { return stats_.allocations; });
+  metrics_sources_.add("rm.reservations", [this] { return stats_.reservations; });
+  metrics_sources_.add("rm.allocation_failures",
+                       [this] { return stats_.allocation_failures; });
+  metrics_sources_.add("rm.authorizations_issued",
+                       [this] { return stats_.authorizations_issued; });
+  metrics_sources_.add("rm.authorizations_rejected",
+                       [this] { return stats_.authorizations_rejected; });
+  metrics_sources_.add("rm.sealed_spawns", [this] { return stats_.sealed_spawns; });
+  metrics_sources_.add("rm.polls", [this] { return stats_.polls; });
 }
 
 std::string ResourceManager::url() const {
@@ -182,8 +195,11 @@ void ResourceManager::poll_hosts() {
   for (auto& [name, info] : hosts_) {
     ++stats_.polls;
     // Score the previous round first.
-    if (!info.pong_seen && ++info.missed_polls >= config_.dead_after_misses)
+    if (!info.pong_seen && ++info.missed_polls >= config_.dead_after_misses) {
+      if (info.alive)
+        obs::Tracer::global().instant("rm", "rm.host_dead", {{"host", name}});
       info.alive = false;
+    }
     info.pong_seen = false;
     simnet::SendOptions opts;
     opts.src_port = ping_port_;
@@ -303,7 +319,14 @@ void ResourceManager::handle_allocate(const simnet::Address& from, const Bytes& 
   daemon::SpawnRequest forwarded = request.value();
   ++stats_.allocations;
   info.load += 1.0 / std::max(1, info.cpus);  // optimistic until next poll
-  auto completion = [respond, this](Result<Bytes> r) {
+  // Spawn latency span: decision made -> daemon's reply in hand.
+  obs::SpanId span = obs::Tracer::global().begin_span("rm", "rm.spawn");
+  SimTime spawn_start = engine_.now();
+  auto completion = [respond, this, span, spawn_start,
+                     target = host.value()](Result<Bytes> r) {
+    spawn_latency_ms_->observe(static_cast<double>(engine_.now() - spawn_start) / 1e6);
+    obs::Tracer::global().end_span(
+        span, {{"host", target}, {"ok", r.ok() ? "true" : "false"}});
     if (!r) {
       ++stats_.allocation_failures;
       respond(r.error());

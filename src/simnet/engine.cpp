@@ -2,16 +2,22 @@
 
 #include <cassert>
 
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 
 namespace snipe::simnet {
 
 Engine::Engine(std::uint64_t seed) : rng_(seed) {
-  // Give log lines the virtual clock for the lifetime of this engine.
+  // Give log lines and trace events the virtual clock for the lifetime of
+  // this engine.
   set_log_time_source([this] { return now_; });
+  obs::Tracer::global().set_clock([this] { return now_; });
 }
 
-Engine::~Engine() { set_log_time_source(nullptr); }
+Engine::~Engine() {
+  set_log_time_source(nullptr);
+  obs::Tracer::global().set_clock(nullptr);
+}
 
 TimerId Engine::schedule(SimDuration delay, std::function<void()> fn) {
   assert(delay >= 0 && "cannot schedule into the past");

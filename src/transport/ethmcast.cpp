@@ -19,6 +19,13 @@ EthMcastEndpoint::EthMcastEndpoint(simnet::Host& host, const std::string& networ
   // Leave room for the group name in the header.
   frag_payload_ = nic->network()->model().mtu - kDataHeaderBytes - 8 - group.size();
   host_.bind(port_, [this](const simnet::Packet& p) { on_packet(p); }).value();
+  metrics_sources_.add("ethmcast.messages_sent", [this] { return stats_.messages_sent.v; });
+  metrics_sources_.add("ethmcast.messages_delivered",
+                       [this] { return stats_.messages_delivered.v; });
+  metrics_sources_.add("ethmcast.fragments_broadcast",
+                       [this] { return stats_.fragments_broadcast.v; });
+  metrics_sources_.add("ethmcast.repairs_sent", [this] { return stats_.repairs_sent.v; });
+  metrics_sources_.add("ethmcast.nacks_sent", [this] { return stats_.nacks_sent.v; });
 }
 
 EthMcastEndpoint::~EthMcastEndpoint() {

@@ -13,6 +13,7 @@
 #include <functional>
 #include <map>
 
+#include "obs/metrics.hpp"
 #include "simnet/world.hpp"
 #include "transport/wire.hpp"
 #include "util/log.hpp"
@@ -25,12 +26,14 @@ struct EthMcastConfig {
   SimDuration sender_hold = duration::seconds(5);  ///< keep data for repairs
 };
 
+/// Cells double as pull sources in the global obs::MetricsRegistry
+/// ("ethmcast.nacks_sent", "ethmcast.repairs_sent", ...).
 struct EthMcastStats {
-  std::uint64_t messages_sent = 0;
-  std::uint64_t messages_delivered = 0;
-  std::uint64_t fragments_broadcast = 0;
-  std::uint64_t repairs_sent = 0;
-  std::uint64_t nacks_sent = 0;
+  obs::Cell messages_sent;
+  obs::Cell messages_delivered;
+  obs::Cell fragments_broadcast;
+  obs::Cell repairs_sent;
+  obs::Cell nacks_sent;
 };
 
 /// One endpoint of the Ethernet multicast protocol: both a sender and a
@@ -84,6 +87,8 @@ class EthMcastEndpoint {
   std::map<std::string, std::uint64_t> delivered_up_to_;
   EthMcastStats stats_;
   Logger log_;
+  /// Declared after stats_ so retirement reads live cells.
+  obs::SourceGroup metrics_sources_;
 };
 
 }  // namespace snipe::transport

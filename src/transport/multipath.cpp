@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace snipe::transport {
 
 bool MultipathPolicy::on_timeout(simnet::Host& host) {
@@ -50,6 +52,7 @@ bool MultipathPolicy::on_timeout(simnet::Host& host) {
   }
   preferred_ = next;
   ++switches_;
+  obs::MetricsRegistry::global().counter("multipath.route_switches").inc();
   return true;
 }
 

@@ -23,6 +23,26 @@ SrudpEndpoint::SrudpEndpoint(simnet::Host& host, std::uint16_t port, SrudpConfig
   assert(!host_.nics().empty() && "SRUDP endpoint on an unattached host");
   frag_payload_ = std::max(kMinFragPayload, budget - kDataHeaderBytes);
   host_.bind(port_, [this](const simnet::Packet& p) { on_packet(p); }).value();
+
+  auto& registry = obs::MetricsRegistry::global();
+  rtt_ms_ = &registry.histogram("srudp.rtt_ms");
+  metrics_sources_.add("srudp.messages_sent", [this] { return stats_.messages_sent.v; });
+  metrics_sources_.add("srudp.messages_delivered",
+                       [this] { return stats_.messages_delivered.v; });
+  metrics_sources_.add("srudp.messages_expired",
+                       [this] { return stats_.messages_expired.v; });
+  metrics_sources_.add("srudp.messages_skipped",
+                       [this] { return stats_.messages_skipped.v; });
+  metrics_sources_.add("srudp.fragments_sent", [this] { return stats_.fragments_sent.v; });
+  metrics_sources_.add("srudp.retransmits",
+                       [this] { return stats_.fragments_retransmitted.v; });
+  metrics_sources_.add("srudp.duplicate_fragments",
+                       [this] { return stats_.duplicate_fragments.v; });
+  metrics_sources_.add("srudp.status_sent", [this] { return stats_.status_sent.v; });
+  metrics_sources_.add("srudp.rto_events", [this] { return stats_.rto_events.v; });
+  metrics_sources_.add("srudp.bytes_delivered",
+                       [this] { return stats_.bytes_delivered.v; });
+  metrics_sources_.add("srudp.route_switches", [this] { return stats_.route_switches.v; });
 }
 
 SrudpEndpoint::~SrudpEndpoint() {
@@ -142,6 +162,11 @@ void SrudpEndpoint::on_rto(const simnet::Address& peer) {
   out.inflight = 0;
   if (out.path.on_timeout(host_)) {
     ++stats_.route_switches;
+    auto& tracer = obs::Tracer::global();
+    if (out.failover_span == 0)
+      out.failover_span = tracer.begin_span("transport", "srudp.failover");
+    tracer.instant("transport", "srudp.route_switch",
+                   {{"peer", peer.to_string()}, {"to", out.path.preferred()}});
     log_.debug("route to ", peer.to_string(), " switched to ", out.path.preferred());
   }
   // Resend every sent-but-unacked fragment of every queued message (up to
@@ -166,6 +191,9 @@ void SrudpEndpoint::on_rto(const simnet::Address& peer) {
 void SrudpEndpoint::expire_head(const simnet::Address& peer, PeerOut& out) {
   log_.warn("message ", out.queue.front().msg_id, " to ", peer.to_string(),
             " expired unacknowledged");
+  obs::Tracer::global().instant(
+      "transport", "srudp.expire",
+      {{"peer", peer.to_string()}, {"msg", std::to_string(out.queue.front().msg_id)}});
   out.queue.pop_front();
   out.inflight = 0;  // conservative: counted fragments belonged to the head
   ++stats_.messages_expired;
@@ -405,6 +433,11 @@ void SrudpEndpoint::on_status(const simnet::Address& peer, const StatusPacket& p
       // counter — it can arrive over a different interface than the one
       // our data is dying on.)  Restart the retransmission timer too.
       out.path.on_success();
+      if (out.failover_span != 0) {
+        obs::Tracer::global().end_span(out.failover_span,
+                                       {{"route", out.path.preferred()}});
+        out.failover_span = 0;
+      }
       engine_.cancel(out.rto_timer);
       out.rto_timer = simnet::TimerId{};
     }
@@ -440,6 +473,7 @@ void SrudpEndpoint::on_msg_ack(const simnet::Address& peer, std::uint64_t msg_id
     // RTT sample per Karn's rule: only from never-retransmitted messages.
     if (!qit->retransmitted && qit->first_sent >= 0) {
       SimDuration sample = engine_.now() - qit->first_sent;
+      rtt_ms_->observe(static_cast<double>(sample) / 1e6);
       if (out.srtt == 0) {
         out.srtt = sample;
         out.rttvar = sample / 2;
@@ -456,6 +490,11 @@ void SrudpEndpoint::on_msg_ack(const simnet::Address& peer, std::uint64_t msg_id
     out.inflight -= std::min<std::size_t>(out.inflight, unacked_inflight);
     out.queue.erase(qit);
     out.path.on_success();
+    if (out.failover_span != 0) {
+      obs::Tracer::global().end_span(out.failover_span,
+                                     {{"route", out.path.preferred()}});
+      out.failover_span = 0;
+    }
     engine_.cancel(out.rto_timer);
     out.rto_timer = simnet::TimerId{};
     if (out.queue.empty()) {

@@ -31,6 +31,8 @@
 #include <map>
 #include <optional>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "simnet/world.hpp"
 #include "transport/multipath.hpp"
 #include "transport/wire.hpp"
@@ -64,18 +66,23 @@ struct SrudpConfig {
   int failover_threshold = 2;  ///< consecutive RTOs before switching routes
 };
 
+/// Per-endpoint counters.  The cells are the single point of increment;
+/// each endpoint registers them as pull sources in the global
+/// obs::MetricsRegistry (names "srudp.messages_sent", "srudp.retransmits",
+/// ...), so `stats()` stays a thin per-instance view while the registry
+/// reports fleet-wide totals.
 struct SrudpStats {
-  std::uint64_t messages_sent = 0;
-  std::uint64_t messages_delivered = 0;
-  std::uint64_t messages_expired = 0;   ///< sender gave up (TTL)
-  std::uint64_t messages_skipped = 0;   ///< receiver skipped a HOL gap
-  std::uint64_t fragments_sent = 0;
-  std::uint64_t fragments_retransmitted = 0;
-  std::uint64_t duplicate_fragments = 0;
-  std::uint64_t status_sent = 0;
-  std::uint64_t rto_events = 0;
-  std::uint64_t bytes_delivered = 0;
-  int route_switches = 0;
+  obs::Cell messages_sent;
+  obs::Cell messages_delivered;
+  obs::Cell messages_expired;   ///< sender gave up (TTL)
+  obs::Cell messages_skipped;   ///< receiver skipped a HOL gap
+  obs::Cell fragments_sent;
+  obs::Cell fragments_retransmitted;
+  obs::Cell duplicate_fragments;
+  obs::Cell status_sent;
+  obs::Cell rto_events;
+  obs::Cell bytes_delivered;
+  obs::Cell route_switches;
 };
 
 /// A reliable, message-oriented endpoint bound to one (host, port).
@@ -136,6 +143,9 @@ class SrudpEndpoint {
     SimDuration rto;
     simnet::TimerId rto_timer;
     MultipathPolicy path;
+    /// Open "srudp.failover" span: starts at the route switch, ends at the
+    /// first acknowledged progress on the new route.
+    obs::SpanId failover_span = 0;
   };
 
   struct InMessage {
@@ -190,7 +200,11 @@ class SrudpEndpoint {
   std::map<simnet::Address, PeerOut> out_;
   std::map<simnet::Address, PeerIn> in_;
   SrudpStats stats_;
+  obs::Histogram* rtt_ms_;  ///< global "srudp.rtt_ms" (Karn-filtered samples)
   Logger log_;
+  /// Declared after stats_ so the sources unregister (and fold into the
+  /// registry's retained totals) before the cells they read are destroyed.
+  obs::SourceGroup metrics_sources_;
 };
 
 }  // namespace snipe::transport

@@ -14,12 +14,20 @@ namespace snipe {
 
 enum class LogLevel { trace = 0, debug, info, warn, error, off };
 
+/// Receives every emitted record (already threshold-filtered).  Installed
+/// by tests that capture output; nullptr restores the stderr sink.
+using LogSink = std::function<void(LogLevel level, const std::string& component,
+                                   const std::string& text)>;
+
 namespace log_detail {
-/// Global minimum level; messages below it are discarded cheaply.
+/// Global minimum level; messages below it are discarded cheaply.  First
+/// use honors the SNIPE_LOG_LEVEL environment variable (trace, debug,
+/// info, warn, error, off).
 LogLevel& threshold();
 /// Source of the current simulated time, installed by the event engine.
 std::function<std::int64_t()>& time_source();
-/// Emits one formatted line; exposed for tests that capture output.
+/// Emits one formatted line (serialized by an internal mutex); exposed for
+/// tests that capture output.
 void emit(LogLevel level, const std::string& component, const std::string& text);
 }  // namespace log_detail
 
@@ -28,6 +36,14 @@ LogLevel set_log_level(LogLevel level);
 
 /// Installs the virtual-clock source (nullptr restores "no timestamp").
 void set_log_time_source(std::function<std::int64_t()> source);
+
+/// Routes records to `sink` instead of stderr; returns the previous sink
+/// (nullptr meaning stderr) so tests can restore it.
+LogSink set_log_sink(LogSink sink);
+
+/// Parses a level name ("warn", "DEBUG", ...); returns `fallback` when the
+/// name is unknown or empty.
+LogLevel parse_log_level(const std::string& name, LogLevel fallback);
 
 /// A named logger; cheap to construct, typically one per component instance
 /// ("daemon@hostA", "rcds@catalog2", ...).

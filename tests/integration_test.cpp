@@ -7,7 +7,9 @@
 #include "core/console.hpp"
 #include "core/group.hpp"
 #include "core/process.hpp"
+#include "obs/trace.hpp"
 #include "playground/svmasm.hpp"
+#include "transport/srudp.hpp"
 #include "rcds/server.hpp"
 #include "rm/resource_manager.hpp"
 #include "util/uri.hpp"
@@ -203,6 +205,86 @@ TEST_F(Deployment, PseudoProcessFansOutToReplicas) {
   world.engine().run();
   ASSERT_TRUE(sent.ok()) << sent.error().to_string();
   EXPECT_EQ(delivered, 3);
+}
+
+TEST_F(Deployment, TraceRecordsSpawnFailoverMigrationInOrder) {
+  // The virtual-time tracer should tell the story of a whole scenario in
+  // order: a task spawn (daemon), a transport failover (transport), then a
+  // process migration (core) — each later than the one before it.
+  auto& tracer = obs::Tracer::global();
+  tracer.set_enabled(true);
+  tracer.clear();
+
+  // 1. Spawn a signed agent via the RM -> daemon emits "task.running".
+  auto program = playground::assemble(R"(
+    loop:
+      recv
+      push 2
+      mul
+      emit
+      jmp loop
+  )");
+  ASSERT_TRUE(program.ok());
+  core::SnipeProcess user(*world.host("user"), "trace-user", replicas());
+  files::FileClient files(user.rpc(), replicas());
+  rcds::RcClient rc(user.rpc(), replicas());
+  bool published = false;
+  playground::publish_code(files, rc, fs->address(), "lifn://code/traced", program.value(),
+                           signer, signer_cert,
+                           [&](Result<void> r) { published = r.ok(); });
+  world.engine().run();
+  ASSERT_TRUE(published);
+  daemon::SpawnRequest req;
+  req.program = "lifn://code/traced";
+  req.name = "traced";
+  bool replied = false;
+  Result<daemon::SpawnReply> reply(Errc::state_error, "unset");
+  user.spawn_via_rm(grm->address(), req, [&](Result<daemon::SpawnReply> r) {
+    replied = true;
+    reply = r;
+  });
+  pump_until([&] { return replied; });
+  ASSERT_TRUE(reply.ok()) << reply.error().to_string();
+
+  // 2. SRUDP stream between two dual-homed hosts (site1 + wan); killing the
+  //    receiver's site1 NIC mid-stream forces "srudp.route_switch".
+  transport::SrudpEndpoint tx(*world.host("node1"), 7501);
+  transport::SrudpEndpoint rx(*world.host("fs1"), 7502);
+  int delivered = 0;
+  rx.set_handler([&](const Address&, Bytes) { ++delivered; });
+  for (int i = 0; i < 40; ++i) tx.send(rx.address(), Bytes(32'768, 0x5a));
+  world.engine().run_for(duration::milliseconds(10));
+  world.host("fs1")->nic_on("site1")->set_up(false);
+  world.engine().run();
+  ASSERT_EQ(delivered, 40);
+  ASSERT_GE(tx.stats().route_switches, 1u);
+
+  // 3. Migrate a SnipeProcess -> "process.migrated".
+  core::SnipeProcess roamer(*world.host("node1"), "roamer", replicas());
+  world.engine().run();
+  bool migrated = false;
+  roamer.migrate_to(*world.host("node2"), [&](Result<void> r) { migrated = r.ok(); });
+  world.engine().run();
+  ASSERT_TRUE(migrated);
+
+  // The trace contains all three milestones, in strictly increasing order.
+  auto events = tracer.events();
+  auto index_of = [&](const std::string& cat, const std::string& name) {
+    for (std::size_t i = 0; i < events.size(); ++i)
+      if (events[i].cat == cat && events[i].name == name) return static_cast<long>(i);
+    return -1L;
+  };
+  long spawn = index_of("daemon", "task.running");
+  long failover = index_of("transport", "srudp.route_switch");
+  long migration = index_of("core", "process.migrated");
+  ASSERT_GE(spawn, 0) << "no task.running event";
+  ASSERT_GE(failover, 0) << "no srudp.route_switch event";
+  ASSERT_GE(migration, 0) << "no process.migrated event";
+  EXPECT_LT(spawn, failover);
+  EXPECT_LT(failover, migration);
+  // Virtual timestamps are monotone with the event order.
+  EXPECT_LE(events[spawn].ts, events[failover].ts);
+  EXPECT_LE(events[failover].ts, events[migration].ts);
 }
 
 TEST_F(Deployment, ReplicatedHttpServiceSurvivesLocationFailure) {

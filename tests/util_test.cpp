@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "util/bytes.hpp"
+#include "util/log.hpp"
 #include "util/result.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
@@ -221,6 +222,36 @@ TEST(Strings, TrimAndJoin) {
   EXPECT_EQ(join({"a", "b"}, "::"), "a::b");
   EXPECT_TRUE(starts_with("snipe://x", "snipe://"));
   EXPECT_FALSE(starts_with("sn", "snipe"));
+}
+
+TEST(Log, SinkCapturesFilteredRecords) {
+  std::vector<std::pair<LogLevel, std::string>> captured;
+  LogLevel old_level = set_log_level(LogLevel::info);
+  LogSink old_sink = set_log_sink([&](LogLevel level, const std::string& component,
+                                      const std::string& text) {
+    captured.emplace_back(level, component + ": " + text);
+  });
+
+  Logger log("util_test");
+  log.debug("below threshold, dropped");
+  log.info("value=", 42);
+  log.error("boom");
+
+  set_log_sink(old_sink);
+  set_log_level(old_level);
+
+  ASSERT_EQ(captured.size(), 2u);
+  EXPECT_EQ(captured[0].first, LogLevel::info);
+  EXPECT_EQ(captured[0].second, "util_test: value=42");
+  EXPECT_EQ(captured[1].first, LogLevel::error);
+}
+
+TEST(Log, ParseLevelNames) {
+  EXPECT_EQ(parse_log_level("debug", LogLevel::warn), LogLevel::debug);
+  EXPECT_EQ(parse_log_level("ERROR", LogLevel::warn), LogLevel::error);
+  EXPECT_EQ(parse_log_level("off", LogLevel::warn), LogLevel::off);
+  EXPECT_EQ(parse_log_level("nonsense", LogLevel::warn), LogLevel::warn);
+  EXPECT_EQ(parse_log_level("", LogLevel::info), LogLevel::info);
 }
 
 TEST(Time, DurationsCompose) {
