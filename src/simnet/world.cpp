@@ -3,7 +3,39 @@
 #include <algorithm>
 #include <cassert>
 
+#include "simnet/fault.hpp"
+
 namespace snipe::simnet {
+
+/// Reordering is extra delivery delay; a duplicate is a second,
+/// independently-jittered arrival event.
+void Host::schedule_delivery(Engine& engine, Network* net, Host* target, SimTime arrival,
+                             Packet packet) {
+  FaultInjector* fault = net->fault();
+  if (fault != nullptr) {
+    FaultVerdict v = fault->judge(packet.src.host, packet.dst.host);
+    if (v.drop) {
+      net->stats().drops_fault++;
+      return;
+    }
+    if (v.corrupt) {
+      fault->corrupt_payload(packet.payload);
+      net->stats().fault_corruptions++;
+    }
+    if (v.copies > 1) {
+      net->stats().fault_duplicates += static_cast<std::uint64_t>(v.copies - 1);
+      Packet copy = packet;
+      engine.schedule_at(arrival + v.extra_delay + v.dup_delay,
+                         [target, net, copy = std::move(copy)]() mutable {
+                           target->deliver(std::move(copy), net);
+                         });
+    }
+    arrival += v.extra_delay;
+  }
+  engine.schedule_at(arrival, [target, net, packet = std::move(packet)]() mutable {
+    target->deliver(std::move(packet), net);
+  });
+}
 
 Host::Host(World* world, std::string name, Rng rng)
     : world_(world), name_(std::move(name)), rng_(rng), log_("host@" + name_) {}
@@ -95,10 +127,7 @@ Result<std::string> Host::send(const Address& dst, Bytes payload, const SendOpti
   }
 
   Packet packet{Address{name_, opts.src_port}, dst, std::move(payload), net->name()};
-  Host* target = dst_host;
-  engine.schedule_at(arrival, [target, net, packet = std::move(packet)]() mutable {
-    target->deliver(std::move(packet), net);
-  });
+  schedule_delivery(engine, net, dst_host, arrival, std::move(packet));
   return net->name();
 }
 
@@ -148,9 +177,7 @@ Result<void> Host::broadcast(const std::string& network, std::uint16_t port, Byt
     Host* target = nic->host();
     Packet packet{Address{name_, src_port}, Address{target->name(), port}, payload,
                   net->name()};
-    engine.schedule_at(arrival, [target, net, packet = std::move(packet)]() mutable {
-      target->deliver(std::move(packet), net);
-    });
+    schedule_delivery(engine, net, target, arrival, std::move(packet));
   }
   return ok_result();
 }

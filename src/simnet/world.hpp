@@ -11,6 +11,9 @@
 // be taken down and brought back at any virtual time; in-flight packets to
 // a dead destination are dropped, which is what the transport's failover
 // logic (§6: "switch routes/interfaces as links failed") must cope with.
+// Richer, adversarial failure modes — burst loss, duplication, reordering,
+// corruption, partitions, crash/restart schedules — attach per network via
+// simnet/fault.hpp's FaultInjector/FaultPlan.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +30,8 @@
 #include "util/result.hpp"
 
 namespace snipe::simnet {
+
+class FaultInjector;  // simnet/fault.hpp
 
 /// A network endpoint: host name + port.
 struct Address {
@@ -80,6 +85,9 @@ struct NetStats {
   std::uint64_t drops_loss = 0;      ///< random media loss
   std::uint64_t drops_down = 0;      ///< host/NIC/network down at delivery
   std::uint64_t drops_unbound = 0;   ///< no listener on the destination port
+  std::uint64_t drops_fault = 0;     ///< fault injector (burst loss/partition)
+  std::uint64_t fault_duplicates = 0;  ///< extra copies injected
+  std::uint64_t fault_corruptions = 0; ///< datagrams delivered mangled
 };
 
 /// A shared medium: an Ethernet segment, ATM fabric, or point-to-point WAN.
@@ -100,6 +108,12 @@ class Network {
   NetStats& stats() { return stats_; }
   const NetStats& stats() const { return stats_; }
 
+  /// Attaches (or, with nullptr, removes) a fault injector consulted for
+  /// every datagram on this network — see simnet/fault.hpp.  Ownership is
+  /// shared so a FaultPlan can outlive or predecease the network safely.
+  void set_fault(std::shared_ptr<FaultInjector> fault) { fault_ = std::move(fault); }
+  FaultInjector* fault() const { return fault_.get(); }
+
  private:
   friend class World;
   std::string name_;
@@ -107,6 +121,7 @@ class Network {
   bool up_ = true;
   double extra_loss_ = 0.0;
   std::vector<Nic*> nics_;
+  std::shared_ptr<FaultInjector> fault_;
   NetStats stats_;
 };
 
@@ -163,6 +178,10 @@ class Host {
  private:
   friend class World;
   void deliver(Packet packet, Network* network);
+  /// Runs one about-to-fly datagram through `net`'s fault injector (if any)
+  /// and schedules the surviving copies for delivery at `target`.
+  static void schedule_delivery(Engine& engine, Network* net, Host* target,
+                                SimTime arrival, Packet packet);
 
   World* world_;
   std::string name_;

@@ -16,8 +16,11 @@ EthMcastEndpoint::EthMcastEndpoint(simnet::Host& host, const std::string& networ
       log_("ethmcast@" + host.name() + "/" + group) {
   auto* nic = host_.nic_on(network_);
   assert(nic != nullptr && "host not attached to multicast segment");
-  // Leave room for the group name in the header.
-  frag_payload_ = nic->network()->model().mtu - kDataHeaderBytes - 8 - group.size();
+  // Leave room for the group name in the header; clamp before subtracting
+  // so a tiny MTU cannot wrap the budget to a huge value.
+  std::size_t mtu = nic->network()->model().mtu;
+  std::size_t header = kDataHeaderBytes + 8 + group.size();
+  frag_payload_ = std::max<std::size_t>(1, mtu - std::min(mtu, header));
   host_.bind(port_, [this](const simnet::Packet& p) { on_packet(p); }).value();
   metrics_sources_.add("ethmcast.messages_sent", [this] { return stats_.messages_sent.v; });
   metrics_sources_.add("ethmcast.messages_delivered",
@@ -87,9 +90,12 @@ void EthMcastEndpoint::on_packet(const simnet::Packet& packet) {
   const McastDataPacket& p = decoded.value();
   simnet::Address sender{packet.src.host, head.value().src_port};
 
-  if (delivered_up_to_[sender.host] >= p.msg_id) return;  // already delivered
-
   auto key = std::make_pair(sender.host, p.msg_id);
+  // Duplicate-after-delivery guard.  Only applies when no reassembly is in
+  // flight: repairs for an older message may arrive after a newer one
+  // completed (repair latency), and dropping them would wedge it forever.
+  if (!in_.count(key) && delivered_up_to_[sender.host] >= p.msg_id) return;
+
   auto [it, inserted] = in_.try_emplace(key);
   InMessage& msg = it->second;
   if (inserted) {
@@ -97,6 +103,13 @@ void EthMcastEndpoint::on_packet(const simnet::Packet& packet) {
     msg.total_len = p.total_len;
     msg.frags.resize(p.frag_count);
     msg.have = make_bitmap(p.frag_count);
+  } else if (msg.frag_count != p.frag_count || msg.total_len != p.total_len) {
+    // A corrupted or hostile fragment disagreeing with the first one seen:
+    // indexing frags/have with the packet's own frag_count would write out
+    // of bounds, so drop it (repairs re-send the authentic fragment).
+    log_.warn("inconsistent fragment metadata for msg ", p.msg_id, " from ",
+              sender.host);
+    return;
   }
   if (!bitmap_get(msg.have, p.frag_index)) {
     bitmap_set(msg.have, p.frag_index);
@@ -110,7 +123,8 @@ void EthMcastEndpoint::on_packet(const simnet::Packet& packet) {
     for (auto& frag : msg.frags) assembled.insert(assembled.end(), frag.begin(), frag.end());
     engine_.cancel(msg.nack_timer);
     in_.erase(it);
-    delivered_up_to_[sender.host] = p.msg_id;
+    auto& up_to = delivered_up_to_[sender.host];
+    up_to = std::max(up_to, p.msg_id);
     ++stats_.messages_delivered;
     if (handler_) handler_(sender, std::move(assembled));
     return;

@@ -21,7 +21,10 @@ SrudpEndpoint::SrudpEndpoint(simnet::Host& host, std::uint16_t port, SrudpConfig
   for (const auto& nic : host_.nics())
     budget = std::min(budget, nic->network()->model().mtu);
   assert(!host_.nics().empty() && "SRUDP endpoint on an unattached host");
-  frag_payload_ = std::max(kMinFragPayload, budget - kDataHeaderBytes);
+  // Clamp before subtracting: an MTU at or below the header size would
+  // otherwise wrap the unsigned difference to a huge fragment budget.
+  frag_payload_ =
+      std::max(kMinFragPayload, budget - std::min(budget, kDataHeaderBytes));
   host_.bind(port_, [this](const simnet::Packet& p) { on_packet(p); }).value();
 
   auto& registry = obs::MetricsRegistry::global();
@@ -68,10 +71,13 @@ std::uint64_t SrudpEndpoint::send(const simnet::Address& dst, Bytes message) {
   msg.data = std::move(message);
   msg.acked = make_bitmap(msg.frag_count);
   msg.deadline = engine_.now() + config_.msg_ttl;
+  std::uint64_t msg_id = msg.msg_id;
   out.queue.push_back(std::move(msg));
   ++stats_.messages_sent;
+  // pump() may expire the message just queued (a zero/tiny msg_ttl) or any
+  // other head, so out.queue.back() is not safe to touch afterwards.
   pump(dst);
-  return out.queue.back().msg_id;
+  return msg_id;
 }
 
 std::size_t SrudpEndpoint::pending() const {

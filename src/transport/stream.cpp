@@ -308,6 +308,13 @@ void StreamConnection::on_ack(const StreamPacket& p) {
     else
       cwnd += m * m / cwnd;
 
+    // Forward progress collapses any RTO backoff (as in RFC 6298 §5.7):
+    // Karn's rule can starve the RTT estimator for a long stretch of
+    // retransmissions, and without this the timer stays pinned at max_rto,
+    // turning each further loss into a multi-second stall.
+    if (srtt_ != 0)
+      rto_ = std::clamp(srtt_ + 4 * rttvar_, endpoint_->config().min_rto,
+                        endpoint_->config().max_rto);
     endpoint_->engine().cancel(rto_timer_);
     rto_timer_ = simnet::TimerId{};
     if (snd_una < snd_nxt) arm_rto();

@@ -18,6 +18,11 @@ Result<ByteReader> open(const Bytes& wire) {
   if (!port) return port.error();
   return r;
 }
+
+// A flipped length field can shrink a blob and leave stray bytes after the
+// last field; a decoder that ignores them would accept a structurally
+// mangled packet, so every decode_* ends with this check.
+Error trailing_bytes() { return Error{Errc::corrupt, "trailing bytes"}; }
 }  // namespace
 
 Bytes encode_data(std::uint16_t src_port, const DataPacket& p) {
@@ -104,6 +109,11 @@ Result<DataPacket> decode_data(const Bytes& wire) {
   p.payload = std::move(payload).take();
   if (p.frag_count == 0 || p.frag_index >= p.frag_count)
     return Error{Errc::corrupt, "bad fragment indices"};
+  if (p.frag_count > kMaxWireFragments)
+    return Error{Errc::corrupt, "absurd fragment count"};
+  if (p.frag_count > 1 && p.total_len == 0)
+    return Error{Errc::corrupt, "multi-fragment message with zero length"};
+  if (r.value().remaining() != 0) return trailing_bytes();
   return p;
 }
 
@@ -120,8 +130,11 @@ Result<StatusPacket> decode_status(const Bytes& wire) {
   auto bitmap = r.value().blob();
   if (!bitmap) return bitmap.error();
   p.bitmap = std::move(bitmap).take();
+  if (p.frag_count > kMaxWireFragments)
+    return Error{Errc::corrupt, "absurd status fragment count"};
   if (p.bitmap.size() * 8 < p.frag_count)
     return Error{Errc::corrupt, "status bitmap too small"};
+  if (r.value().remaining() != 0) return trailing_bytes();
   return p;
 }
 
@@ -130,6 +143,7 @@ Result<MsgIdPacket> decode_msg_id(const Bytes& wire) {
   if (!r) return r.error();
   auto msg_id = r.value().u64();
   if (!msg_id) return msg_id.error();
+  if (r.value().remaining() != 0) return trailing_bytes();
   return MsgIdPacket{msg_id.value()};
 }
 
@@ -152,6 +166,7 @@ Result<StreamPacket> decode_stream(const Bytes& wire) {
   auto payload = r.value().blob();
   if (!payload) return payload.error();
   p.payload = std::move(payload).take();
+  if (r.value().remaining() != 0) return trailing_bytes();
   return p;
 }
 
@@ -179,6 +194,11 @@ Result<McastDataPacket> decode_mcast_data(const Bytes& wire) {
   p.payload = std::move(payload).take();
   if (p.frag_count == 0 || p.frag_index >= p.frag_count)
     return Error{Errc::corrupt, "bad multicast fragment indices"};
+  if (p.frag_count > kMaxWireFragments)
+    return Error{Errc::corrupt, "absurd multicast fragment count"};
+  if (p.frag_count > 1 && p.total_len == 0)
+    return Error{Errc::corrupt, "multi-fragment multicast with zero length"};
+  if (r.value().remaining() != 0) return trailing_bytes();
   return p;
 }
 
@@ -194,12 +214,13 @@ Result<McastNackPacket> decode_mcast_nack(const Bytes& wire) {
   p.msg_id = msg_id.value();
   auto count = r.value().u32();
   if (!count) return count.error();
-  if (count.value() > 1u << 20) return Error{Errc::corrupt, "absurd NACK count"};
+  if (count.value() > kMaxWireFragments) return Error{Errc::corrupt, "absurd NACK count"};
   for (std::uint32_t i = 0; i < count.value(); ++i) {
     auto idx = r.value().u32();
     if (!idx) return idx.error();
     p.missing.push_back(idx.value());
   }
+  if (r.value().remaining() != 0) return trailing_bytes();
   return p;
 }
 

@@ -84,6 +84,13 @@ struct McastNackPacket {
   std::vector<std::uint32_t> missing;
 };
 
+/// Upper bound on the fragment count any decoder will accept.  Wire data
+/// is untrusted (§4): without a bound, a single hostile or bit-flipped
+/// header could make a receiver allocate gigabytes of reassembly state.
+/// 2^20 fragments at the minimum fragment size is already a ~256 MB
+/// message, far beyond anything the testbed moves.
+constexpr std::uint32_t kMaxWireFragments = 1u << 20;
+
 /// Number of bytes the SRUDP DATA header occupies on the wire; used to
 /// compute fragment payload budgets from the MTU.
 constexpr std::size_t kDataHeaderBytes = 1 + 2 + 8 + 4 + 4 + 4 + 4;  // +4 blob len

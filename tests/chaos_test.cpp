@@ -1,0 +1,500 @@
+// Chaos suite: the transports and services under seeded adversarial fault
+// plans (simnet/fault.hpp) — burst loss, duplication, reordering, byte
+// corruption, partitions, and crash/restart schedules.
+//
+// Every scenario is a pure function of one 64-bit seed; the acceptance
+// scenarios run each seed twice and require bit-identical virtual-time
+// traces, which is the replay contract DESIGN.md §fault documents.  Set
+// SNIPE_CHAOS_SEED to reproduce a failing CI run (see chaos_util.hpp).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+
+#include "chaos_util.hpp"
+#include "daemon/daemon.hpp"
+#include "rcds/server.hpp"
+#include "rm/resource_manager.hpp"
+#include "transport/ethmcast.hpp"
+#include "transport/srudp.hpp"
+#include "transport/stream.hpp"
+
+namespace snipe {
+namespace {
+
+using simnet::Address;
+using simnet::FaultPlan;
+using simnet::FaultProfile;
+using simnet::World;
+
+constexpr int kSeeds = 5;  ///< distinct seeds per acceptance scenario
+
+// ---- SRUDP gauntlet: the ISSUE acceptance scenario -------------------------
+//
+// Burst loss + duplication + reordering + a mid-transfer partition + a
+// receiver crash/restart, all at once.  SRUDP promises exactly-once,
+// in-order, intact delivery per peer pair as long as the sender's TTL
+// (30 s) outlives the outage windows — so after the dust settles nothing
+// may be lost, duplicated, reordered, expired, or skipped.
+
+struct GauntletResult {
+  bool intact = false;
+  std::string why;
+  std::uint64_t delivered = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t skipped = 0;
+  std::size_t pending = 0;
+  std::uint64_t drops_fault = 0;      ///< scenario actually bit
+  std::uint64_t fault_duplicates = 0;
+  std::string digest;  ///< trace + end-state fingerprint for replay checks
+};
+
+GauntletResult run_srudp_gauntlet(std::uint64_t seed) {
+  obs::Tracer::global().clear();
+  World world(seed);
+  world.create_network("lan", simnet::ethernet100());
+  world.attach(world.create_host("a"), *world.network("lan"));
+  world.attach(world.create_host("b"), *world.network("lan"));
+
+  transport::SrudpEndpoint sender(*world.host("a"), 7000);
+  transport::SrudpEndpoint receiver(*world.host("b"), 7000);
+  chaos::DeliveryLedger ledger;
+  receiver.set_handler([&ledger](const Address& src, Bytes m) {
+    ledger.on_deliver(src.host, std::move(m));
+  });
+
+  FaultPlan plan(world, seed * 0x9E3779B97F4A7C15ULL + 1);
+  FaultProfile profile;
+  profile.burst = {/*p_enter_bad=*/0.02, /*p_exit_bad=*/0.2,
+                   /*loss_good=*/0.01, /*loss_bad=*/0.7};
+  profile.duplicate = 0.05;
+  profile.reorder = 0.1;
+  profile.reorder_jitter = duration::milliseconds(2);
+  plan.inject("lan", profile);
+  plan.partition("lan", {{"a"}, {"b"}}, duration::milliseconds(300),
+                 duration::milliseconds(600));
+  plan.crash_host("b", duration::milliseconds(700), duration::milliseconds(900));
+
+  Rng workload(seed ^ 0xC0FFEEULL);
+  const Address dst{"b", 7000};
+  for (std::uint32_t i = 0; i < 40; ++i) {
+    std::size_t size = 1 + static_cast<std::size_t>(workload.next_below(20000));
+    Bytes payload = chaos::chaos_payload(size, seed, i);
+    ledger.expect_sent("a", payload);
+    world.engine().schedule_at(
+        duration::milliseconds(25) * i,
+        [&sender, dst, payload = std::move(payload)]() mutable {
+          sender.send(dst, std::move(payload));
+        });
+  }
+  world.engine().run_until(duration::seconds(45));
+
+  GauntletResult r;
+  r.intact = ledger.intact(&r.why);
+  r.delivered = receiver.stats().messages_delivered.v;
+  r.expired = sender.stats().messages_expired.v;
+  r.skipped = receiver.stats().messages_skipped.v;
+  r.pending = sender.pending();
+  r.drops_fault = world.network("lan")->stats().drops_fault;
+  r.fault_duplicates = world.network("lan")->stats().fault_duplicates;
+  r.digest = chaos::trace_digest() + "|delivered=" + std::to_string(r.delivered) +
+             "|retx=" + std::to_string(sender.stats().fragments_retransmitted.v) +
+             "|dropsF=" + std::to_string(world.network("lan")->stats().drops_fault) +
+             "|dups=" + std::to_string(world.network("lan")->stats().fault_duplicates);
+  return r;
+}
+
+TEST(ChaosSrudp, GauntletExactlyOnceInOrderAcrossSeeds) {
+  for (int i = 0; i < kSeeds; ++i) {
+    std::uint64_t seed = chaos::chaos_seed() + static_cast<std::uint64_t>(i);
+    GauntletResult first = run_srudp_gauntlet(seed);
+    EXPECT_TRUE(first.intact) << "seed " << seed << ": " << first.why;
+    EXPECT_EQ(first.delivered, 40u) << "seed " << seed;
+    EXPECT_EQ(first.expired, 0u) << "seed " << seed;
+    EXPECT_EQ(first.skipped, 0u) << "seed " << seed;
+    EXPECT_EQ(first.pending, 0u) << "seed " << seed;
+    // A vacuous pass (fault layer never fired) would be a test bug.
+    EXPECT_GT(first.drops_fault, 0u) << "seed " << seed;
+    EXPECT_GT(first.fault_duplicates, 0u) << "seed " << seed;
+    // Replay: the same seed must reproduce the identical virtual-time run.
+    GauntletResult replay = run_srudp_gauntlet(seed);
+    EXPECT_EQ(first.digest, replay.digest) << "seed " << seed << " did not replay";
+  }
+}
+
+// ---- SRUDP under byte corruption -------------------------------------------
+//
+// The wire format carries no payload checksum (as in 1998), so flipped
+// bytes can reach the application or even forge protocol state: a mangled
+// STATUS can falsely ack a fragment, and a flipped msg_id on a
+// single-fragment DATA mints a *new* message carrying a sent payload —
+// which completes, delivers, and later duplicates or reorders against the
+// original (dedup is per msg_id; a forged id defeats it).  What the
+// protocol *does* promise under corruption is: no crashes (the decoders
+// reject structurally-bad packets, including trailing bytes from a
+// shrunken length field — see property_test.cpp), every delivered length
+// is a length the sender actually sent (sizes are pairwise-distinct, so a
+// structurally-mangled delivery would stand out), the damage stays
+// bounded, and the run replays bit-for-bit from its seed.
+
+struct CorruptionResult {
+  std::vector<std::size_t> sent_sizes;
+  std::vector<std::size_t> got_sizes;
+  std::string digest;
+};
+
+CorruptionResult run_srudp_corruption(std::uint64_t seed) {
+  obs::Tracer::global().clear();
+  World world(seed);
+  world.create_network("lan", simnet::ethernet100());
+  world.attach(world.create_host("a"), *world.network("lan"));
+  world.attach(world.create_host("b"), *world.network("lan"));
+
+  transport::SrudpConfig cfg;
+  cfg.partial_ttl = duration::milliseconds(500);  // heal poisoned reassembly fast
+  transport::SrudpEndpoint sender(*world.host("a"), 7000, cfg);
+  transport::SrudpEndpoint receiver(*world.host("b"), 7000, cfg);
+  CorruptionResult r;
+  receiver.set_handler(
+      [&r](const Address&, Bytes m) { r.got_sizes.push_back(m.size()); });
+
+  FaultPlan plan(world, seed + 77);
+  FaultProfile profile;
+  profile.burst = {0.01, 0.3, 0.01, 0.5};
+  profile.reorder = 0.05;
+  profile.corrupt = 0.05;
+  profile.corrupt_max_bytes = 4;
+  plan.inject("lan", profile);
+
+  const Address dst{"b", 7000};
+  for (std::uint32_t i = 0; i < 30; ++i) {
+    std::size_t size = 100 + 531 * i;  // distinct; single- and multi-fragment
+    Bytes payload = chaos::chaos_payload(size, seed, i);
+    r.sent_sizes.push_back(size);
+    world.engine().schedule_at(
+        duration::milliseconds(30) * i,
+        [&sender, dst, payload = std::move(payload)]() mutable {
+          sender.send(dst, std::move(payload));
+        });
+  }
+  world.engine().run_until(duration::seconds(60));
+  r.digest = chaos::trace_digest() + "|got=" + std::to_string(r.got_sizes.size());
+  return r;
+}
+
+TEST(ChaosSrudp, CorruptionDamageIsBoundedAndReplaysExactly) {
+  for (int i = 0; i < 3; ++i) {
+    std::uint64_t seed = chaos::chaos_seed() + 100 + static_cast<std::uint64_t>(i);
+    CorruptionResult first = run_srudp_corruption(seed);
+    // Every delivered length is one the sender sent: the decoders and the
+    // reassembly length check make a size-mutating corruption impossible
+    // even though payload *bytes* may arrive mangled.
+    std::set<std::size_t> sent(first.sent_sizes.begin(), first.sent_sizes.end());
+    std::set<std::size_t> distinct_got;
+    for (std::size_t size : first.got_sizes) {
+      EXPECT_TRUE(sent.count(size)) << "seed " << seed << ": fabricated length " << size;
+      distinct_got.insert(size);
+    }
+    // Bounded damage: nearly all of the workload gets through, and forged
+    // msg_ids can only mint a couple of extra deliveries per run.
+    EXPECT_GE(distinct_got.size(), 25u) << "seed " << seed;
+    EXPECT_LE(first.got_sizes.size(), first.sent_sizes.size() + 2) << "seed " << seed;
+    CorruptionResult replay = run_srudp_corruption(seed);
+    EXPECT_EQ(first.digest, replay.digest) << "seed " << seed << " did not replay";
+  }
+}
+
+// ---- Byte stream under loss + duplication + reordering + partition ---------
+
+TEST(ChaosStream, MessagesSurviveLossDupReorderAndPartition) {
+  for (int s = 0; s < 3; ++s) {
+    std::uint64_t seed = chaos::chaos_seed() + 200 + static_cast<std::uint64_t>(s);
+    World world(seed);
+    world.create_network("lan", simnet::ethernet100());
+    world.attach(world.create_host("a"), *world.network("lan"));
+    world.attach(world.create_host("b"), *world.network("lan"));
+
+    transport::StreamEndpoint client(*world.host("a"), 5000);
+    transport::StreamEndpoint server(*world.host("b"), 5000);
+    chaos::DeliveryLedger ledger;
+    std::vector<std::shared_ptr<transport::StreamConnection>> accepted;
+    server.listen([&](std::shared_ptr<transport::StreamConnection> conn) {
+      conn->set_message_handler(
+          [&ledger](Bytes m) { ledger.on_deliver("a", std::move(m)); });
+      accepted.push_back(std::move(conn));
+    });
+    auto conn = client.connect({"b", 5000});
+
+    FaultPlan plan(world, seed + 5);
+    FaultProfile profile;
+    profile.burst = {0.02, 0.25, 0.01, 0.6};
+    profile.duplicate = 0.05;
+    profile.reorder = 0.1;
+    profile.reorder_jitter = duration::milliseconds(1);
+    plan.inject("lan", profile);
+    plan.partition("lan", {{"a"}, {"b"}}, duration::milliseconds(200),
+                   duration::milliseconds(800));
+
+    Rng workload(seed ^ 0xBEEFULL);
+    for (std::uint32_t i = 0; i < 30; ++i) {
+      std::size_t size = 1 + static_cast<std::size_t>(workload.next_below(50000));
+      Bytes payload = chaos::chaos_payload(size, seed, i);
+      ledger.expect_sent("a", payload);
+      world.engine().schedule_at(duration::milliseconds(20) * i,
+                                 [conn, payload = std::move(payload)] {
+                                   conn->send_message(payload);
+                                 });
+    }
+    world.engine().run_until(duration::seconds(30));
+
+    std::string why;
+    EXPECT_TRUE(ledger.intact(&why)) << "seed " << seed << ": " << why;
+    EXPECT_EQ(conn->unacked_bytes(), 0u) << "seed " << seed;
+  }
+}
+
+// ---- Ethernet multicast under burst loss + duplication + reordering --------
+//
+// NACK-driven repair recovers any message a receiver saw at least one
+// fragment of.  Repairs can land after a newer message completed, so
+// cross-message delivery order is not guaranteed under chaos — the
+// invariant is exactly-once and intact per (sender, receiver), checked as
+// multiset equality keyed by the pairwise-distinct sizes.
+
+TEST(ChaosEthMcast, AllMembersReceiveEverythingExactlyOnce) {
+  for (int s = 0; s < 3; ++s) {
+    std::uint64_t seed = chaos::chaos_seed() + 300 + static_cast<std::uint64_t>(s);
+    World world(seed);
+    world.create_network("seg", simnet::ethernet100());
+    const char* names[] = {"m0", "m1", "m2", "m3"};
+    for (const char* n : names)
+      world.attach(world.create_host(n), *world.network("seg"));
+
+    std::vector<std::unique_ptr<transport::EthMcastEndpoint>> members;
+    std::vector<std::vector<Bytes>> got(4);
+    for (int i = 0; i < 4; ++i) {
+      members.push_back(std::make_unique<transport::EthMcastEndpoint>(
+          *world.host(names[i]), "seg", "grp", 6000));
+      members.back()->set_handler(
+          [&got, i](const Address&, Bytes m) { got[i].push_back(std::move(m)); });
+    }
+
+    FaultPlan plan(world, seed + 9);
+    FaultProfile profile;
+    profile.burst = {0.01, 0.5, 0.01, 0.5};
+    profile.duplicate = 0.05;
+    profile.reorder = 0.1;
+    profile.reorder_jitter = duration::milliseconds(1);
+    plan.inject("seg", profile);
+
+    std::vector<Bytes> sent;
+    for (std::uint32_t i = 0; i < 12; ++i) {
+      // 2..5 fragments at the ~1.5 kB ethernet MTU; a whole message has to
+      // dodge loss entirely to be missed, which these rates make negligible.
+      Bytes payload = chaos::chaos_payload(3000 + 500 * i, seed, i);
+      sent.push_back(payload);
+      world.engine().schedule_at(duration::milliseconds(50) * i,
+                                 [&m = *members[0], payload = std::move(payload)]() mutable {
+                                   m.send(std::move(payload));
+                                 });
+    }
+    world.engine().run_until(duration::seconds(20));
+
+    auto by_size = [](const Bytes& a, const Bytes& b) { return a.size() < b.size(); };
+    std::sort(sent.begin(), sent.end(), by_size);
+    for (int i = 1; i < 4; ++i) {
+      std::sort(got[i].begin(), got[i].end(), by_size);
+      EXPECT_EQ(got[i], sent) << "seed " << seed << ": member " << names[i]
+                              << " delivered " << got[i].size() << "/12";
+    }
+  }
+}
+
+// ---- RCDS replicas converge after a partition heals ------------------------
+
+std::string canonical_record(const std::vector<rcds::Assertion>& assertions) {
+  std::vector<std::string> lines;
+  for (const auto& a : assertions)
+    lines.push_back(a.name + "=" + a.value + "@" + std::to_string(a.timestamp) + "/" +
+                    a.origin + (a.tombstone ? "!" : ""));
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (auto& l : lines) out += l + "\n";
+  return out;
+}
+
+TEST(ChaosRcds, ReplicasConvergeAfterPartitionHeals) {
+  std::uint64_t seed = chaos::chaos_seed() + 400;
+  World world(seed);
+  world.create_network("lan", simnet::ethernet100());
+  for (const char* n : {"h1", "h2", "h3"})
+    world.attach(world.create_host(n), *world.network("lan"));
+
+  std::vector<std::unique_ptr<rcds::RcServer>> servers;
+  for (const char* n : {"h1", "h2", "h3"})
+    servers.push_back(std::make_unique<rcds::RcServer>(*world.host(n)));
+  for (auto& s : servers) {
+    std::vector<Address> peers;
+    for (auto& o : servers)
+      if (o != s) peers.push_back(o->address());
+    s->set_peers(peers);
+  }
+
+  FaultPlan plan(world, seed + 13);
+  plan.inject("lan", FaultProfile{});  // pure partition, no stochastic faults
+  plan.partition("lan", {{"h1", "h2"}, {"h3"}}, duration::milliseconds(100),
+                 duration::seconds(5));
+
+  auto& engine = world.engine();
+  // Before the partition: a write that replicates everywhere.
+  engine.schedule_at(duration::milliseconds(50), [&] {
+    servers[0]->apply("urn:x", {rcds::op_set("k", "v0")});
+  });
+  // During it: conflicting writes on both sides, plus one-sided writes.
+  engine.schedule_at(duration::seconds(1), [&] {
+    servers[0]->apply("urn:a", {rcds::op_set("owner", "s1")});
+    servers[2]->apply("urn:b", {rcds::op_set("k", "minority")});
+  });
+  engine.schedule_at(duration::seconds(2), [&] {
+    servers[2]->apply("urn:a", {rcds::op_set("owner", "s3")});
+  });
+  // Heal at 5 s; srudp's 30 s buffering redelivers the missed replication
+  // pushes, and anti-entropy (10 s period) repairs anything beyond that.
+  engine.run_until(duration::seconds(40));
+
+  for (const char* uri : {"urn:x", "urn:a", "urn:b"}) {
+    std::string want = canonical_record(servers[0]->get(uri));
+    EXPECT_FALSE(want.empty()) << uri;
+    for (std::size_t i = 1; i < servers.size(); ++i)
+      EXPECT_EQ(canonical_record(servers[i]->get(uri)), want)
+          << "replica " << i << " diverged on " << uri;
+  }
+  // The conflict resolved to the later write on every replica.
+  for (auto& s : servers) {
+    bool owner_is_s3 = false;
+    for (const auto& a : s->get("urn:a"))
+      if (a.name == "owner" && a.value == "s3" && !a.tombstone) owner_is_s3 = true;
+    EXPECT_TRUE(owner_is_s3);
+  }
+}
+
+// ---- RM failover across a host crash/restart schedule ----------------------
+
+class NapTask final : public daemon::ManagedTask {
+ public:
+  NapTask(simnet::Engine& engine, const daemon::SpawnRequest& req,
+          daemon::TaskHandle& handle)
+      : engine_(engine), handle_(handle),
+        delay_(req.args.empty() ? 0 : req.args[0]) {}
+  void start() override {
+    timer_ = engine_.schedule(delay_, [this] { handle_.exited(0); });
+  }
+  void kill() override { engine_.cancel(timer_); }
+
+ private:
+  simnet::Engine& engine_;
+  daemon::TaskHandle& handle_;
+  SimDuration delay_;
+  simnet::TimerId timer_;
+};
+
+TEST(ChaosRm, CrashedHostAvoidedThenReadoptedAfterRestart) {
+  std::uint64_t seed = chaos::chaos_seed() + 500;
+  World world(seed);
+  Rng rng(seed + 1);
+  world.create_network("lan", simnet::ethernet100());
+  for (const char* n : {"rc", "nodeA", "nodeB", "rmhost", "client"})
+    world.attach(world.create_host(n), *world.network("lan"));
+  rcds::RcServer rc(*world.host("rc"));
+
+  auto nap_factory = [&world](const daemon::SpawnRequest& req, daemon::TaskHandle& h)
+      -> Result<std::unique_ptr<daemon::ManagedTask>> {
+    return std::unique_ptr<daemon::ManagedTask>(
+        new NapTask(world.engine(), req, h));
+  };
+  daemon::DaemonConfig cfg;
+  cfg.playground.require_signature = false;
+  std::vector<Address> replicas{rc.address()};
+  daemon::SnipeDaemon daemon_a(*world.host("nodeA"), replicas);
+  daemon::SnipeDaemon daemon_b(*world.host("nodeB"), replicas);
+  daemon_a.register_program("nap", nap_factory);
+  daemon_b.register_program("nap", nap_factory);
+  world.engine().run();
+
+  auto principal = crypto::Principal::create("urn:snipe:rm:chaos", rng);
+  rm::ResourceManager rm(*world.host("rmhost"), replicas, principal);
+  rm.manage_host("nodeA", daemon_a.address());
+  rm.manage_host("nodeB", daemon_b.address());
+  world.engine().run_for(duration::seconds(5));  // pull facts + first polls
+  ASSERT_EQ(rm.live_hosts(), 2u);
+
+  // Crash nodeA at 6 s, reboot it at 20 s (bindings survive, §5.6's model).
+  FaultPlan plan(world, seed + 2);
+  plan.crash_host("nodeA", duration::seconds(6), duration::seconds(20));
+
+  world.engine().run_until(duration::seconds(16));
+  EXPECT_EQ(rm.live_hosts(), 1u) << "crashed host still considered live";
+
+  // Allocations during the outage all land on the survivor.
+  transport::RpcEndpoint client(*world.host("client"), 9400);
+  for (int i = 0; i < 2; ++i) {
+    daemon::SpawnRequest req;
+    req.program = "nap";
+    req.name = "job" + std::to_string(i);
+    req.args = {duration::seconds(600)};
+    bool replied = false;
+    Result<Bytes> result(Errc::state_error, "unset");
+    client.call(rm.address(), rm::tags::kAllocate, req.encode(), [&](Result<Bytes> r) {
+      replied = true;
+      result = r;
+    });
+    while (!replied && world.engine().step()) {
+    }
+    ASSERT_TRUE(result.ok()) << result.error().to_string();
+  }
+  EXPECT_EQ(daemon_b.running_tasks(), 2u);
+  EXPECT_EQ(daemon_a.running_tasks(), 0u);
+
+  // After the reboot the next polls resurrect it in the pool.
+  world.engine().run_until(duration::seconds(30));
+  EXPECT_EQ(rm.live_hosts(), 2u) << "rebooted host never readopted";
+}
+
+// ---- obs metrics agree with endpoint stats under induced expiry/skip -------
+
+TEST(ChaosObs, ExpiredAndSkippedCountsMatchMetricsRegistry) {
+  double expired0 = chaos::metric_value("srudp.messages_expired");
+  double skipped0 = chaos::metric_value("srudp.messages_skipped");
+
+  World world(chaos::chaos_seed() + 600);
+  world.create_network("lan", simnet::ethernet100());
+  world.attach(world.create_host("a"), *world.network("lan"));
+  world.attach(world.create_host("b"), *world.network("lan"));
+  transport::SrudpConfig cfg;
+  cfg.msg_ttl = duration::milliseconds(300);
+  cfg.hol_skip = duration::milliseconds(200);
+  transport::SrudpEndpoint sender(*world.host("a"), 7000, cfg);
+  transport::SrudpEndpoint receiver(*world.host("b"), 7000, cfg);
+  std::vector<std::size_t> got;
+  receiver.set_handler([&got](const Address&, Bytes m) { got.push_back(m.size()); });
+
+  // Message 1 dies against a crashed receiver; message 2, sent after the
+  // reboot, is delivered only once the receiver skips the HOL gap.
+  world.host("b")->set_up(false);
+  sender.send({"b", 7000}, Bytes(100, 0x11));
+  world.engine().run_for(duration::seconds(1));
+  world.host("b")->set_up(true);
+  sender.send({"b", 7000}, Bytes(200, 0x22));
+  world.engine().run_for(duration::seconds(2));
+
+  EXPECT_EQ(got, (std::vector<std::size_t>{200}));
+  EXPECT_EQ(sender.stats().messages_expired.v, 1u);
+  EXPECT_EQ(receiver.stats().messages_skipped.v, 1u);
+  // The registry's fleet-wide counters moved by exactly the same amounts.
+  EXPECT_EQ(chaos::metric_value("srudp.messages_expired") - expired0, 1.0);
+  EXPECT_EQ(chaos::metric_value("srudp.messages_skipped") - skipped0, 1.0);
+}
+
+}  // namespace
+}  // namespace snipe

@@ -4,7 +4,9 @@
 
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "simnet/engine.hpp"
+#include "simnet/fault.hpp"
 #include "simnet/media.hpp"
 #include "simnet/world.hpp"
 
@@ -329,6 +331,167 @@ TEST(World, DeterministicAcrossRuns) {
     return arrivals;
   };
   EXPECT_EQ(run_once(), run_once());
+}
+
+// ---- Fault injection: FaultInjector unit behaviour ----
+
+TEST(Fault, GilbertElliottEmpiricalLossNearStationaryMean) {
+  FaultProfile profile;
+  profile.burst = {0.05, 0.25, 0.01, 0.9};
+  FaultInjector inj(profile, Rng(99));
+  const int n = 20000;
+  int dropped = 0;
+  for (int i = 0; i < n; ++i)
+    if (inj.judge("a", "b").drop) ++dropped;
+  EXPECT_NEAR(static_cast<double>(dropped) / n, profile.burst.mean_loss(), 0.03);
+  EXPECT_EQ(inj.stats().packets_judged, static_cast<std::uint64_t>(n));
+  EXPECT_EQ(inj.stats().drops_burst, static_cast<std::uint64_t>(dropped));
+}
+
+TEST(Fault, PartitionBlocksAcrossGroupsOnly) {
+  FaultInjector inj(FaultProfile{}, Rng(1));
+  inj.set_partition({{"a", "b"}, {"c"}});
+  EXPECT_TRUE(inj.partition_active());
+  EXPECT_FALSE(inj.partitioned("a", "b"));  // same group
+  EXPECT_TRUE(inj.partitioned("a", "c"));   // across groups
+  EXPECT_TRUE(inj.judge("a", "c").drop);
+  EXPECT_EQ(inj.stats().drops_partition, 1u);
+  // Unnamed hosts share an implicit group: together, but cut off from all
+  // named groups.
+  EXPECT_FALSE(inj.partitioned("x", "y"));
+  EXPECT_TRUE(inj.partitioned("x", "a"));
+  EXPECT_TRUE(inj.partitioned("c", "y"));
+  inj.heal_partition();
+  EXPECT_FALSE(inj.partition_active());
+  EXPECT_FALSE(inj.partitioned("a", "c"));
+  EXPECT_FALSE(inj.judge("a", "c").drop);
+}
+
+TEST(Fault, CorruptPayloadFlipsBoundedBytesAndSkipsEmpty) {
+  FaultProfile profile;
+  profile.corrupt_max_bytes = 3;
+  FaultInjector inj(profile, Rng(5));
+  Bytes empty;
+  inj.corrupt_payload(empty);  // must not crash or grow
+  EXPECT_TRUE(empty.empty());
+  for (int trial = 0; trial < 50; ++trial) {
+    Bytes wire(64, 0xAB);
+    inj.corrupt_payload(wire);
+    ASSERT_EQ(wire.size(), 64u);
+    int flipped = 0;
+    for (auto b : wire)
+      if (b != 0xAB) ++flipped;
+    EXPECT_GE(flipped, 1) << trial;
+    EXPECT_LE(flipped, 3) << trial;
+  }
+}
+
+TEST(Fault, DuplicationAlwaysYieldsTwoCopiesAtProbabilityOne) {
+  FaultProfile profile;
+  profile.duplicate = 1.0;
+  FaultInjector inj(profile, Rng(7));
+  for (int i = 0; i < 20; ++i) {
+    auto v = inj.judge("a", "b");
+    EXPECT_FALSE(v.drop);
+    EXPECT_EQ(v.copies, 2);
+  }
+  EXPECT_EQ(inj.stats().duplicated, 20u);
+}
+
+TEST(Fault, SameSeedSameVerdictSequence) {
+  FaultProfile profile;
+  profile.burst = {0.1, 0.3, 0.02, 0.8};
+  profile.duplicate = 0.2;
+  profile.reorder = 0.3;
+  profile.corrupt = 0.1;
+  FaultInjector x(profile, Rng(4242)), y(profile, Rng(4242));
+  for (int i = 0; i < 500; ++i) {
+    auto a = x.judge("a", "b");
+    auto b = y.judge("a", "b");
+    EXPECT_EQ(a.drop, b.drop) << i;
+    EXPECT_EQ(a.corrupt, b.corrupt) << i;
+    EXPECT_EQ(a.copies, b.copies) << i;
+    EXPECT_EQ(a.extra_delay, b.extra_delay) << i;
+    EXPECT_EQ(a.dup_delay, b.dup_delay) << i;
+  }
+}
+
+// ---- Fault injection: World-level integration ----
+
+TEST(Fault, CertainLossDropsEverySentPacket) {
+  World world(11);
+  auto& net = world.create_network("n", ethernet100());
+  auto& a = world.create_host("a");
+  auto& b = world.create_host("b");
+  world.attach(a, net);
+  world.attach(b, net);
+  FaultPlan plan(world, 77);
+  FaultProfile profile;
+  profile.burst.loss_good = 1.0;
+  plan.inject("n", profile);
+  int received = 0;
+  b.bind(1, [&](const Packet&) { ++received; }).value();
+  for (int i = 0; i < 50; ++i) a.send({"b", 1}, Bytes{1}).value();
+  world.engine().run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(net.stats().drops_fault, 50u);
+}
+
+TEST(Fault, CertainDuplicationDeliversTwice) {
+  World world(12);
+  auto& net = world.create_network("n", ethernet100());
+  auto& a = world.create_host("a");
+  auto& b = world.create_host("b");
+  world.attach(a, net);
+  world.attach(b, net);
+  FaultPlan plan(world, 78);
+  FaultProfile profile;
+  profile.duplicate = 1.0;
+  plan.inject("n", profile);
+  int received = 0;
+  b.bind(1, [&](const Packet&) { ++received; }).value();
+  for (int i = 0; i < 25; ++i) a.send({"b", 1}, Bytes{1}).value();
+  world.engine().run();
+  EXPECT_EQ(received, 50);
+  EXPECT_EQ(net.stats().fault_duplicates, 25u);
+}
+
+TEST(Fault, PlanWindowsFireAtScheduledVirtualTimes) {
+  using duration::milliseconds;
+  World world(13);
+  auto& net = world.create_network("n", ethernet100());
+  auto& a = world.create_host("a");
+  auto& b = world.create_host("b");
+  world.attach(a, net);
+  world.attach(b, net);
+  obs::Tracer::global().clear();
+
+  FaultPlan plan(world, 79);
+  plan.crash_host("b", milliseconds(10), milliseconds(30));
+  plan.partition("n", {{"a"}, {"b"}}, milliseconds(50), milliseconds(70));
+
+  auto up_at = [&](SimTime t) {
+    world.engine().run_until(t);
+    return world.host("b")->up();
+  };
+  EXPECT_TRUE(up_at(milliseconds(5)));
+  EXPECT_FALSE(up_at(milliseconds(20)));
+  EXPECT_TRUE(up_at(milliseconds(40)));
+  world.engine().run_until(milliseconds(60));
+  ASSERT_NE(plan.injector("n"), nullptr);
+  EXPECT_TRUE(plan.injector("n")->partition_active());
+  world.engine().run_until(milliseconds(80));
+  EXPECT_FALSE(plan.injector("n")->partition_active());
+
+  // Each action emitted a "fault" instant at its virtual time, in order.
+  std::vector<std::pair<std::int64_t, std::string>> faults;
+  for (const auto& e : obs::Tracer::global().events())
+    if (e.cat == "fault") faults.emplace_back(e.ts, e.name);
+  ASSERT_EQ(faults.size(), 4u);
+  EXPECT_EQ(faults[0], (std::pair<std::int64_t, std::string>{milliseconds(10), "host.crash"}));
+  EXPECT_EQ(faults[1], (std::pair<std::int64_t, std::string>{milliseconds(30), "host.restart"}));
+  EXPECT_EQ(faults[2], (std::pair<std::int64_t, std::string>{milliseconds(50), "partition.start"}));
+  EXPECT_EQ(faults[3], (std::pair<std::int64_t, std::string>{milliseconds(70), "partition.heal"}));
 }
 
 }  // namespace

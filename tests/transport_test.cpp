@@ -91,6 +91,33 @@ TEST(Wire, HeaderSizeConstantsMatchReality) {
   EXPECT_EQ(encode_stream(PacketType::seg, 1, s).size(), kStreamHeaderBytes);
 }
 
+TEST(Wire, RejectsAbsurdFragmentCounts) {
+  // Hostile-input bound (kMaxWireFragments): a forged count must be
+  // rejected before any receiver sizes buffers from it.
+  DataPacket d{1, 0, kMaxWireFragments + 1, 10, pattern_bytes(4)};
+  EXPECT_FALSE(decode_data(encode_data(1, d)).ok());
+
+  StatusPacket s{1, kMaxWireFragments + 1, make_bitmap(8)};
+  EXPECT_FALSE(decode_status(encode_status(1, s)).ok());
+
+  McastDataPacket m{"g", 1, 0, kMaxWireFragments + 1, 10, pattern_bytes(4)};
+  EXPECT_FALSE(decode_mcast_data(encode_mcast_data(1, m)).ok());
+
+  // A multi-fragment message claiming zero total length is equally bogus.
+  DataPacket z{1, 0, 3, 0, pattern_bytes(4)};
+  EXPECT_FALSE(decode_data(encode_data(1, z)).ok());
+
+  // NACK with a forged element count (hand-built: the encoder cannot
+  // produce one without allocating the giant vector first).
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(PacketType::mnack));
+  w.u16(1);
+  w.str("g");
+  w.u64(3);
+  w.u32(kMaxWireFragments + 1);
+  EXPECT_FALSE(decode_mcast_nack(std::move(w).take()).ok());
+}
+
 TEST(Wire, BitmapHelpers) {
   Bytes bm = make_bitmap(17);
   EXPECT_EQ(bm.size(), 3u);
@@ -373,6 +400,47 @@ TEST(Srudp, DeterministicUnderSeed) {
   EXPECT_EQ(run_once(), run_once());
 }
 
+TEST(Srudp, SendReturnsIdEvenWhenMessageExpiresImmediately) {
+  // Regression: send() used to read out.queue.back().msg_id *after* pump(),
+  // but pump() expires TTL-dead messages — with msg_ttl == 0 the queue is
+  // already empty again and back() was a dangling read.
+  SrudpConfig cfg;
+  cfg.msg_ttl = 0;
+  SrudpPair p(1, simnet::ethernet100(), cfg);
+  EXPECT_EQ(p.a->send(p.b->address(), pattern_bytes(100)), 1u);
+  EXPECT_EQ(p.a->send(p.b->address(), pattern_bytes(100)), 2u);
+  EXPECT_EQ(p.a->stats().messages_expired.v, 2u);
+  EXPECT_EQ(p.a->pending(), 0u);
+}
+
+TEST(Srudp, TinyMtuInterfaceDoesNotWreckFragmentation) {
+  // Regression: an attached network with MTU <= kDataHeaderBytes wrapped
+  // the unsigned fragment budget to ~2^64, which in turn overflowed the
+  // frag_count computation to zero — the message was silently unsendable
+  // even though a perfectly good Ethernet was also attached.
+  World world(5);
+  world.create_network("fat", simnet::ethernet100());
+  auto tiny = simnet::ethernet10();
+  tiny.mtu = kDataHeaderBytes - 1;
+  world.create_network("tiny", tiny);
+  auto& ha = world.create_host("a");
+  auto& hb = world.create_host("b");
+  for (auto* h : {&ha, &hb}) {
+    world.attach(*h, *world.network("fat"));
+    world.attach(*h, *world.network("tiny"));
+  }
+  SrudpEndpoint a(ha, 7001), b(hb, 7002);
+  std::vector<Bytes> received;
+  b.set_handler([&](const Address&, Bytes m) { received.push_back(std::move(m)); });
+  Bytes msg = pattern_bytes(1000);
+  a.send(b.address(), msg);
+  world.engine().run();
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0], msg);
+  // The clamped budget still fragments finely enough for every interface.
+  EXPECT_GE(a.stats().fragments_sent.v, 4u);
+}
+
 // ---- MultipathPolicy ----
 
 TEST(Multipath, SwitchesAfterThresholdAndResetsOnSuccess) {
@@ -557,6 +625,37 @@ TEST(EthMcast, NackRepairsLoss) {
   EXPECT_GT(members[0]->stats().repairs_sent, 0u);
   std::uint64_t nacks = members[1]->stats().nacks_sent + members[2]->stats().nacks_sent;
   EXPECT_GT(nacks, 0u);
+}
+
+TEST(EthMcast, RejectsFragmentsDisagreeingWithFirstSeenMetadata) {
+  // Regression: a fragment whose frag_count/total_len disagreed with the
+  // first-seen fragment of the same message indexed the reassembly buffers
+  // with its *own* frag_count — an out-of-bounds write under ASan.  Now it
+  // is dropped and the genuine fragments still complete the message.
+  World world(3);
+  world.create_network("seg", simnet::ethernet100());
+  auto& evil = world.create_host("evil");
+  auto& good = world.create_host("good");
+  world.attach(evil, *world.network("seg"));
+  world.attach(good, *world.network("seg"));
+  EthMcastEndpoint receiver(good, "seg", "grp", 9000);
+  std::vector<Bytes> got;
+  receiver.set_handler([&](const Address&, Bytes m) { got.push_back(std::move(m)); });
+
+  auto raw = [&](const McastDataPacket& p) {
+    simnet::SendOptions opts;
+    opts.src_port = 9000;
+    evil.send({"good", 9000}, encode_mcast_data(9000, p), opts).value();
+  };
+  raw({"grp", /*msg_id=*/1, /*frag_index=*/0, /*frag_count=*/2, /*total_len=*/6,
+       to_bytes("abc")});
+  // Same message, wildly different metadata: frags/have only hold 2 slots.
+  raw({"grp", 1, 7, 8, 6, to_bytes("x")});
+  raw({"grp", 1, 1, 2, 6, to_bytes("def")});
+  world.engine().run();
+
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(to_string(got[0]), "abcdef");
 }
 
 }  // namespace
