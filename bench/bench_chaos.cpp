@@ -69,7 +69,7 @@ ChaosResult run_chaos_transfer(int media_index, int profile_index, std::size_t s
   plan.inject("net", profile_by_index(profile_index));
   transport::SrudpEndpoint tx(pair.a(), 7001), rx(pair.b(), 7002);
   ChaosResult result;
-  rx.set_handler([&](const simnet::Address&, Bytes) { ++result.delivered; });
+  rx.set_handler([&](const simnet::Address&, Payload) { ++result.delivered; });
   SimTime start = pair.world.now();
   for (int i = 0; i < count; ++i) tx.send(rx.address(), Bytes(size, 0x5a));
   pair.world.engine().run();

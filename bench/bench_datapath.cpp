@@ -1,0 +1,237 @@
+// Data-plane and event-engine throughput harness.
+//
+// Unlike the figure benches (which report *virtual-time* metrics), this one
+// measures the simulator itself: wall-clock events/sec through the engine,
+// simulated megabytes moved per wall-clock second through the transport
+// stack, and heap allocations per delivered message.  It is the regression
+// gate for the zero-copy data plane and the heap-based event queue — the
+// ROADMAP north star says simulation should run "as fast as the hardware
+// allows", and these counters are how we hold that line per PR.
+//
+// Wall-clock numbers are machine-dependent; compare runs on the same box.
+#include <chrono>
+#include <cstdlib>
+#include <new>
+
+#include "bench_util.hpp"
+#include "transport/srudp.hpp"
+#include "transport/stream.hpp"
+
+// ---------------------------------------------------------------------------
+// Allocation counter: global operator new/delete overrides, effective for
+// this binary only.  Counts calls, not bytes — the metric of interest is
+// "allocations per delivered message", which a zero-copy path should hold
+// near-constant regardless of message size.
+static std::uint64_t g_alloc_count = 0;
+
+void* operator new(std::size_t size) {
+  ++g_alloc_count;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  ++g_alloc_count;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  ++g_alloc_count;
+  return std::malloc(size);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+
+namespace {
+
+using namespace snipe;
+using namespace snipe::bench;
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// ---------------------------------------------------------------------------
+// Engine microbenches.
+
+/// Pure event churn: a self-rescheduling chain plus a fan of one-shot
+/// timers, no payloads.  Measures the queue's push/pop cost.
+void BM_EngineEvents(benchmark::State& state) {
+  const std::size_t kEvents = 1 << 20;
+  double wall = 0;
+  for (auto _ : state) {
+    simnet::Engine engine(1);
+    // Half the events are a serial chain (always-next-event pattern of a
+    // busy endpoint), half are scattered one-shots (timer fan-out).
+    std::size_t fired = 0;
+    std::function<void()> chain = [&] {
+      if (++fired < kEvents / 2) engine.schedule(duration::microseconds(1), chain);
+    };
+    engine.schedule(duration::microseconds(1), chain);
+    Rng scatter(7);
+    for (std::size_t i = 0; i < kEvents / 2; ++i) {
+      engine.schedule(duration::microseconds(1 + scatter.next_below(1000)),
+                      [&fired] { ++fired; });
+    }
+    auto start = Clock::now();
+    engine.run();
+    wall = seconds_since(start);
+    benchmark::DoNotOptimize(fired);
+  }
+  state.counters["wall_events_per_sec"] = static_cast<double>(kEvents) / wall;
+}
+BENCHMARK(BM_EngineEvents)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+/// The retransmit-timer pattern: schedule a timer per packet, cancel it
+/// when the ack arrives (i.e. almost immediately).  With a linear-scan
+/// cancel this is quadratic in outstanding timers; with generation-checked
+/// cancellation it is O(1).
+void BM_EngineCancelChurn(benchmark::State& state) {
+  const std::size_t kOutstanding = static_cast<std::size_t>(state.range(0));
+  const std::size_t kRounds = 64;
+  double wall = 0;
+  for (auto _ : state) {
+    simnet::Engine engine(1);
+    std::vector<simnet::TimerId> timers(kOutstanding);
+    auto start = Clock::now();
+    for (std::size_t round = 0; round < kRounds; ++round) {
+      for (std::size_t i = 0; i < kOutstanding; ++i)
+        timers[i] = engine.schedule(duration::seconds(10), [] {});
+      for (std::size_t i = 0; i < kOutstanding; ++i) engine.cancel(timers[i]);
+    }
+    wall = seconds_since(start);
+    engine.clear();
+  }
+  state.counters["wall_cancels_per_sec"] =
+      static_cast<double>(kOutstanding * kRounds) / wall;
+}
+BENCHMARK(BM_EngineCancelChurn)->Arg(1000)->Arg(10000)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Transport data-plane benches.
+
+struct DatapathResult {
+  double wall_secs = 0;
+  double sim_bytes = 0;
+  std::uint64_t events = 0;
+  std::uint64_t allocs = 0;
+  bool complete = false;
+};
+
+/// Moves `count` messages of `size` bytes over SRUDP on the given media and
+/// reports wall time, engine events, and allocations for the whole run
+/// (send through reassembled delivery).
+DatapathResult run_srudp(simnet::MediaModel media, std::size_t size, int count) {
+  PairWorld pair(media, 42);
+  transport::SrudpEndpoint tx(pair.a(), 7001), rx(pair.b(), 7002);
+  int delivered = 0;
+  std::uint64_t delivered_bytes = 0;
+  rx.set_handler([&](const simnet::Address&, const auto& m) {
+    ++delivered;
+    delivered_bytes += m.size();
+  });
+  DatapathResult r;
+  Bytes message(size, 0x5a);
+  std::uint64_t alloc_start = g_alloc_count;
+  auto start = Clock::now();
+  for (int i = 0; i < count; ++i) tx.send(rx.address(), Bytes(message));
+  pair.world.engine().run();
+  r.wall_secs = seconds_since(start);
+  r.allocs = g_alloc_count - alloc_start;
+  r.events = pair.world.engine().events_run();
+  r.sim_bytes = static_cast<double>(delivered_bytes);
+  r.complete = delivered == count;
+  return r;
+}
+
+/// Same transfer over the TCP-like stream.
+DatapathResult run_stream(simnet::MediaModel media, std::size_t size, int count) {
+  PairWorld pair(media, 42);
+  transport::StreamEndpoint client(pair.a(), 8001), server(pair.b(), 8002);
+  int delivered = 0;
+  std::uint64_t delivered_bytes = 0;
+  server.listen([&](std::shared_ptr<transport::StreamConnection> conn) {
+    conn->set_message_handler([&, conn](const auto& m) {
+      ++delivered;
+      delivered_bytes += m.size();
+    });
+  });
+  DatapathResult r;
+  Bytes message(size, 0x5a);
+  auto conn = client.connect(server.address());
+  std::uint64_t alloc_start = g_alloc_count;
+  auto start = Clock::now();
+  for (int i = 0; i < count; ++i) conn->send_message(Bytes(message));
+  pair.world.engine().run();
+  r.wall_secs = seconds_since(start);
+  r.allocs = g_alloc_count - alloc_start;
+  r.events = pair.world.engine().events_run();
+  r.sim_bytes = static_cast<double>(delivered_bytes);
+  r.complete = delivered == count;
+  return r;
+}
+
+void report(benchmark::State& state, const DatapathResult& r, int count) {
+  if (!r.complete) {
+    state.SkipWithError("transfer incomplete");
+    return;
+  }
+  state.counters["wall_events_per_sec"] = static_cast<double>(r.events) / r.wall_secs;
+  state.counters["sim_MB_per_wall_sec"] = r.sim_bytes / r.wall_secs / 1e6;
+  state.counters["allocs_per_msg"] = static_cast<double>(r.allocs) / count;
+  state.counters["events"] = static_cast<double>(r.events);
+}
+
+/// The acceptance-gate case: large messages over a fast medium, where
+/// payload copies dominate.  range(0) = message bytes.
+void BM_SrudpDatapath(benchmark::State& state) {
+  const std::size_t size = static_cast<std::size_t>(state.range(0));
+  const int count = static_cast<int>(std::max<std::int64_t>(4, (64 << 20) / state.range(0)));
+  DatapathResult r;
+  for (auto _ : state) {
+    reset_metrics();
+    r = run_srudp(simnet::myrinet(), size, count);
+    if (!r.complete) {
+      state.SkipWithError("transfer incomplete");
+      return;
+    }
+  }
+  report(state, r, count);
+  state.SetLabel("srudp/myrinet");
+}
+BENCHMARK(BM_SrudpDatapath)
+    ->Arg(4096)
+    ->Arg(65536)
+    ->Arg(1 << 20)
+    ->Arg(4 << 20)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_StreamDatapath(benchmark::State& state) {
+  const std::size_t size = static_cast<std::size_t>(state.range(0));
+  const int count = static_cast<int>(std::max<std::int64_t>(4, (32 << 20) / state.range(0)));
+  DatapathResult r;
+  for (auto _ : state) {
+    reset_metrics();
+    r = run_stream(simnet::myrinet(), size, count);
+    if (!r.complete) {
+      state.SkipWithError("transfer incomplete");
+      return;
+    }
+  }
+  report(state, r, count);
+  state.SetLabel("stream/myrinet");
+}
+BENCHMARK(BM_StreamDatapath)
+    ->Arg(65536)
+    ->Arg(1 << 20)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -43,7 +43,7 @@ void BM_Failover(benchmark::State& state) {
     const std::size_t size = 32'768;
     delivered = 0;
     SimTime fail_at = -1, recovered_at = -1;
-    rx.set_handler([&](const simnet::Address&, Bytes) {
+    rx.set_handler([&](const simnet::Address&, Payload) {
       ++delivered;
       if (fail_at >= 0 && recovered_at < 0 && world.now() > fail_at)
         recovered_at = world.now();
@@ -92,7 +92,7 @@ void BM_FailoverVisibleLink(benchmark::State& state) {
     const int messages = 200;
     delivered = 0;
     SimTime fail_at = -1, recovered_at = -1;
-    rx.set_handler([&](const simnet::Address&, Bytes) {
+    rx.set_handler([&](const simnet::Address&, Payload) {
       ++delivered;
       if (fail_at >= 0 && recovered_at < 0 && world.now() > fail_at)
         recovered_at = world.now();

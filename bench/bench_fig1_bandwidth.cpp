@@ -29,7 +29,7 @@ double run_srudp(simnet::MediaModel media, std::size_t size, int count, double l
   pair.world.network("net")->set_extra_loss(loss);
   transport::SrudpEndpoint tx(pair.a(), 7001), rx(pair.b(), 7002);
   int delivered = 0;
-  rx.set_handler([&](const simnet::Address&, Bytes) { ++delivered; });
+  rx.set_handler([&](const simnet::Address&, Payload) { ++delivered; });
   SimTime start = pair.world.now();
   for (int i = 0; i < count; ++i) tx.send(rx.address(), Bytes(size, 0x5a));
   pair.world.engine().run();
@@ -45,7 +45,7 @@ double run_stream(simnet::MediaModel media, std::size_t size, int count, double 
   transport::StreamEndpoint client(pair.a(), 8001), server(pair.b(), 8002);
   int delivered = 0;
   server.listen([&](std::shared_ptr<transport::StreamConnection> conn) {
-    conn->set_message_handler([&delivered, conn](Bytes) { ++delivered; });
+    conn->set_message_handler([&delivered, conn](Payload) { ++delivered; });
   });
   SimTime start = pair.world.now();
   auto conn = client.connect(server.address());
@@ -67,10 +67,10 @@ void BM_Fig1(benchmark::State& state) {
     simnet::MediaModel media = media_by_index(media_index);
     secs = protocol == 0 ? run_srudp(media, size, count, 0.0)
                          : run_stream(media, size, count, 0.0);
-  }
-  if (secs <= 0) {
-    state.SkipWithError("transfer incomplete");
-    return;
+    if (secs <= 0) {
+      state.SkipWithError("transfer incomplete");
+      return;
+    }
   }
   double bytes = static_cast<double>(size) * count;
   state.counters["sim_MBps"] = bytes / secs / 1e6;
@@ -102,11 +102,11 @@ void BM_Fig1Latency(benchmark::State& state) {
     simnet::MediaModel media = media_by_index(media_index);
     // One-byte ping-pong: round-trip time / 2.
     PairWorld pair(media, 7);
+    int pongs = 0;
     if (protocol == 0) {
       transport::SrudpEndpoint a(pair.a(), 7001), b(pair.b(), 7002);
-      int pongs = 0;
-      b.set_handler([&](const simnet::Address& src, Bytes m) { b.send(src, std::move(m)); });
-      a.set_handler([&](const simnet::Address&, Bytes) {
+      b.set_handler([&](const simnet::Address& src, Payload m) { b.send(src, std::move(m)); });
+      a.set_handler([&](const simnet::Address&, Payload) {
         if (++pongs < rounds) a.send(b.address(), Bytes{1});
       });
       SimTime start = pair.world.now();
@@ -118,17 +118,20 @@ void BM_Fig1Latency(benchmark::State& state) {
       std::shared_ptr<transport::StreamConnection> sconn;
       server.listen([&](std::shared_ptr<transport::StreamConnection> conn) {
         sconn = conn;
-        conn->set_message_handler([&](Bytes m) { sconn->send_message(m); });
+        conn->set_message_handler([&](Payload m) { sconn->send_message(std::move(m)); });
       });
       auto conn = client.connect(server.address());
-      int pongs = 0;
-      conn->set_message_handler([&](Bytes m) {
-        if (++pongs < rounds) conn->send_message(m);
+      conn->set_message_handler([&](Payload m) {
+        if (++pongs < rounds) conn->send_message(std::move(m));
       });
       SimTime start = pair.world.now();
       conn->send_message(Bytes{1});
       pair.world.engine().run();
       secs = to_seconds(pair.world.now() - start);
+    }
+    if (pongs != rounds) {
+      state.SkipWithError("ping-pong incomplete");
+      return;
     }
   }
   state.counters["sim_rtt_us"] = secs / rounds * 1e6;
@@ -156,10 +159,10 @@ void BM_LossAblation(benchmark::State& state) {
     reset_metrics();
     secs = protocol == 0 ? run_srudp(simnet::wan_t3(), 65536, 64, loss)
                          : run_stream(simnet::wan_t3(), 65536, 64, loss);
-  }
-  if (secs <= 0) {
-    state.SkipWithError("transfer incomplete");
-    return;
+    if (secs <= 0) {
+      state.SkipWithError("transfer incomplete");
+      return;
+    }
   }
   state.counters["sim_MBps"] = 64.0 * 65536 / secs / 1e6;
   state.counters["loss_pct"] = loss * 100;

@@ -136,7 +136,7 @@ void BM_EthMcastVsUnicast(benchmark::State& state) {
         members.push_back(
             std::make_unique<transport::EthMcastEndpoint>(h, "seg", "grp", 9000));
         members.back()->set_handler(
-            [&](const simnet::Address&, Bytes) { ++delivered; });
+            [&](const simnet::Address&, Payload) { ++delivered; });
       }
       SimTime start = world.now();
       for (int m = 0; m < messages; ++m) tx->send(Bytes(msg_size, 0x77));
@@ -152,7 +152,7 @@ void BM_EthMcastVsUnicast(benchmark::State& state) {
         world.attach(h, seg);
         members.push_back(std::make_unique<transport::SrudpEndpoint>(h, 9001));
         members.back()->set_handler(
-            [&](const simnet::Address&, Bytes) { ++delivered; });
+            [&](const simnet::Address&, Payload) { ++delivered; });
       }
       SimTime start = world.now();
       for (int m = 0; m < messages; ++m)

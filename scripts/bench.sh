@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Builds the Release tree and runs the data-plane benchmarks, writing
+# google-benchmark JSON next to the repo root as BENCH_<name>.json so
+# before/after runs can be diffed (tools/compare.py from google-benchmark
+# works on these files directly).
+#
+# Usage: scripts/bench.sh [build-dir]    (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j --target bench_datapath bench_fig1_bandwidth
+
+for name in bench_datapath bench_fig1_bandwidth; do
+  echo "==== $name ===="
+  "$BUILD_DIR/bench/$name" --benchmark_out="BENCH_${name}.json" \
+    --benchmark_out_format=json
+done
+
+echo "Wrote BENCH_bench_datapath.json and BENCH_bench_fig1_bandwidth.json"

@@ -27,7 +27,7 @@ MpiWorld::MpiWorld(std::string name, const std::vector<simnet::Host*>& hosts)
 MpiRank::MpiRank(MpiWorld* world, int rank, simnet::Host& host) : world_(world), rank_(rank) {
   endpoint_ = std::make_unique<transport::SrudpEndpoint>(
       host, static_cast<std::uint16_t>(kRankPortBase + rank));
-  endpoint_->set_handler([this](const simnet::Address& from, Bytes wire) {
+  endpoint_->set_handler([this](const simnet::Address& from, Payload wire) {
     on_message(from, std::move(wire));
   });
 }
@@ -39,8 +39,8 @@ void MpiRank::send(int dst, int tag, Bytes data) {
   endpoint_->send(world_->rank(dst).address(), encode_msg(rank_, tag, data));
 }
 
-void MpiRank::on_message(const simnet::Address&, Bytes wire) {
-  ByteReader r(wire);
+void MpiRank::on_message(const simnet::Address&, Payload wire) {
+  ByteReader r(wire.data(), wire.size());
   auto source = r.i32();
   auto tag = r.i32();
   auto data = r.blob();

@@ -76,7 +76,7 @@ class MpiRank {
   };
 
   MpiRank(MpiWorld* world, int rank, simnet::Host& host);
-  void on_message(const simnet::Address& from, Bytes wire);
+  void on_message(const simnet::Address& from, Payload wire);
   bool matches(const PostedRecv& posted, const MpiMessage& msg) const {
     return (posted.src == kAnySource || posted.src == msg.source) &&
            (posted.tag == kAnyTag || posted.tag == msg.tag);

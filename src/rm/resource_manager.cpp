@@ -125,7 +125,9 @@ ResourceManager::ResourceManager(simnet::Host& host, std::vector<simnet::Address
   // Raw port for health pongs from the daemons we manage.
   ping_port_ = host.ephemeral_port();
   host.bind(ping_port_, [this](const simnet::Packet& p) {
-        ByteReader r(p.payload);
+        Payload pong = p.payload;
+        pong.flatten();  // raw wire bytes; pongs are single-segment anyway
+        ByteReader r(pong.data(), pong.size());
         auto load = r.f64();
         if (!load) return;
         for (auto& [name, info] : hosts_) {

@@ -6,23 +6,127 @@
 //   * events at equal times fire in scheduling order (monotonic sequence
 //     numbers break ties);
 //   * all randomness flows from the engine's seeded Rng (or forks of it).
+//
+// The queue is a 4-ary min-heap on (time, seq) over a slot slab, with
+// generation-checked lazy cancellation: cancel() destroys the callback and
+// bumps the slot's generation in O(1), and the stale heap entry is skipped
+// when it surfaces.  See DESIGN.md §engine-cancellation.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <map>
+#include <new>
+#include <type_traits>
 #include <utility>
+#include <vector>
 
 #include "util/rng.hpp"
 #include "util/time.hpp"
 
 namespace snipe::simnet {
 
+/// Move-only callable with a large inline buffer, sized so that a delivery
+/// event capturing a whole Packet (two addresses, a multi-segment Payload,
+/// a network name) stays on the slab — the per-event heap allocation
+/// std::function would make is the engine's dominant cost at scale.
+class EventFn {
+ public:
+  EventFn() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, EventFn> &&
+                                        std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes && alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      ops_ = inline_ops<Fn>();
+    } else {
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = heap_ops<Fn>();
+    }
+  }
+
+  EventFn(EventFn&& o) noexcept : ops_(o.ops_) {
+    if (ops_ != nullptr) ops_->relocate(storage_, o.storage_);
+    o.ops_ = nullptr;
+  }
+
+  EventFn& operator=(EventFn&& o) noexcept {
+    if (this != &o) {
+      reset();
+      ops_ = o.ops_;
+      if (ops_ != nullptr) ops_->relocate(storage_, o.storage_);
+      o.ops_ = nullptr;
+    }
+    return *this;
+  }
+
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+
+  ~EventFn() { reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  static constexpr std::size_t kInlineBytes = 240;
+
+  struct Ops {
+    void (*invoke)(void*);
+    /// Move-constructs dst from src and destroys src (noexcept by
+    /// construction: only nothrow-movable types go inline).
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void*);
+  };
+
+  template <typename Fn>
+  static const Ops* inline_ops() {
+    static constexpr Ops ops{
+        [](void* p) { (*static_cast<Fn*>(p))(); },
+        [](void* dst, void* src) {
+          ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+          static_cast<Fn*>(src)->~Fn();
+        },
+        [](void* p) { static_cast<Fn*>(p)->~Fn(); },
+    };
+    return &ops;
+  }
+
+  template <typename Fn>
+  static const Ops* heap_ops() {
+    static constexpr Ops ops{
+        [](void* p) { (**static_cast<Fn**>(p))(); },
+        [](void* dst, void* src) {
+          ::new (dst) Fn*(*static_cast<Fn**>(src));
+        },
+        [](void* p) { delete *static_cast<Fn**>(p); },
+    };
+    return &ops;
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
 /// Handle for cancelling a scheduled event.  Default-constructed handles
-/// are "null" and safe to cancel.
+/// are "null" and safe to cancel.  A handle names (slot, generation); once
+/// the event fires or is cancelled the slot's generation moves on, so a
+/// stale handle can never cancel a stranger's event.
 struct TimerId {
-  std::uint64_t seq = 0;
-  bool valid() const { return seq != 0; }
+  std::uint32_t slot = 0;
+  std::uint32_t gen = 0;
+  bool valid() const { return gen != 0; }
 };
 
 class Engine {
@@ -37,15 +141,16 @@ class Engine {
   SimTime now() const { return now_; }
 
   /// Schedules `fn` to run `delay` from now (delay >= 0).
-  TimerId schedule(SimDuration delay, std::function<void()> fn);
+  TimerId schedule(SimDuration delay, EventFn fn);
   /// Schedules `fn` at an absolute time (>= now).
-  TimerId schedule_at(SimTime when, std::function<void()> fn);
+  TimerId schedule_at(SimTime when, EventFn fn);
   /// Schedules a *weak* (housekeeping) event: periodic background ticks —
   /// anti-entropy rounds, load reports, router refresh — that should not
   /// keep `run()` alive on their own.  `run()` stops once only weak events
   /// remain; `run_until`/`run_for` execute them like any other event.
-  TimerId schedule_weak(SimDuration delay, std::function<void()> fn);
+  TimerId schedule_weak(SimDuration delay, EventFn fn);
   /// Cancels a pending event; cancelling a fired or null timer is a no-op.
+  /// The event's callback (and anything it owns) is destroyed immediately.
   void cancel(TimerId id);
 
   /// Runs the earliest pending event; returns false if none are pending.
@@ -70,12 +175,37 @@ class Engine {
   void clear();
 
  private:
-  using Key = std::pair<SimTime, std::uint64_t>;
-  struct Entry {
-    std::function<void()> fn;
+  struct Slot {
+    EventFn fn;
+    std::uint32_t gen = 1;
     bool weak = false;
+    bool armed = false;
   };
-  std::map<Key, Entry> queue_;
+  struct HeapItem {
+    SimTime time;
+    std::uint64_t seq;
+    std::uint32_t slot;
+    std::uint32_t gen;
+  };
+
+  static bool earlier(const HeapItem& a, const HeapItem& b) {
+    return a.time != b.time ? a.time < b.time : a.seq < b.seq;
+  }
+
+  TimerId push_event(SimTime when, EventFn fn, bool weak);
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot);
+  void heap_push(HeapItem item);
+  void heap_pop();
+  /// Drops stale (cancelled) entries off the top; afterwards the top, if
+  /// any, is a live event.
+  void skim_stale();
+
+  std::vector<HeapItem> heap_;       ///< 4-ary min-heap on (time, seq)
+  std::vector<Slot> slots_;          ///< event slab indexed by TimerId::slot
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t live_ = 0;             ///< armed events (strong + weak)
+  std::size_t stale_ = 0;            ///< cancelled entries still in heap_
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t events_run_ = 0;

@@ -74,6 +74,17 @@ void FaultInjector::corrupt_payload(Bytes& wire) {
   }
 }
 
+void FaultInjector::corrupt_payload(Payload& wire) {
+  if (wire.empty()) return;
+  std::uint32_t flips = static_cast<std::uint32_t>(
+      rng_.next_below(std::max<std::uint32_t>(profile_.corrupt_max_bytes, 1)) + 1);
+  for (std::uint32_t i = 0; i < flips; ++i) {
+    std::size_t pos = static_cast<std::size_t>(rng_.next_below(wire.size()));
+    std::uint8_t mask = static_cast<std::uint8_t>(rng_.next_below(255) + 1);  // never 0
+    wire.cow_xor(pos, mask);
+  }
+}
+
 void FaultInjector::set_partition(const std::vector<std::vector<std::string>>& groups) {
   group_of_.clear();
   int id = 0;

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "util/bytes.hpp"
+#include "util/payload.hpp"
 #include "util/rng.hpp"
 #include "util/time.hpp"
 
@@ -97,8 +98,12 @@ class FaultInjector {
   /// depends only on the seed and the packet sequence.
   FaultVerdict judge(const std::string& src, const std::string& dst);
 
-  /// Flips 1..corrupt_max_bytes bytes of `wire` in place (no-op on empty).
+  /// Flips 1..corrupt_max_bytes bytes of `wire` (no-op on empty).
   void corrupt_payload(Bytes& wire);
+  /// Payload variant: copy-on-write — shared segments are cloned before the
+  /// flip so other holders of the same buffer keep the original bytes.  The
+  /// RNG draw sequence is identical to the Bytes variant.
+  void corrupt_payload(Payload& wire);
 
   /// Splits hosts into isolated groups: packets between different groups
   /// are dropped.  Hosts not named fall into an implicit extra group (they

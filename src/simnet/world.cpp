@@ -70,7 +70,7 @@ std::vector<std::string> Host::up_networks() const {
   return out;
 }
 
-Result<std::string> Host::send(const Address& dst, Bytes payload, const SendOptions& opts) {
+Result<std::string> Host::send(const Address& dst, Payload payload, const SendOptions& opts) {
   if (!up_) return Error{Errc::unreachable, name_ + " is down"};
   Host* dst_host = world_->host(dst.host);
   if (!dst_host) return Error{Errc::not_found, "no such host " + dst.host};
@@ -78,17 +78,33 @@ Result<std::string> Host::send(const Address& dst, Bytes payload, const SendOpti
   // Candidate networks: both endpoints attached with up NICs, network up.
   // §5.3: "the message is sent using the fastest of those" — order by
   // effective bandwidth, then lower latency, then name for determinism.
-  std::vector<std::pair<Nic*, Nic*>> candidates;  // (our nic, their nic)
+  // Candidates live in inline storage and are ordered by an allocation-free
+  // stable insertion sort: this runs once per datagram, and the two small
+  // heap allocations the old vector + stable_sort pair made here were the
+  // hottest allocation site in the simulator.
+  using Candidate = std::pair<Nic*, Nic*>;  // (our nic, their nic)
+  constexpr std::size_t kInlineCandidates = 16;
+  Candidate inline_cand[kInlineCandidates];
+  std::vector<Candidate> overflow;
+  std::size_t ncand = 0;
   for (auto& nic : nics_) {
     if (!nic->up() || !nic->network()->up()) continue;
     Nic* theirs = dst_host->nic_on(nic->network()->name());
     if (theirs == nullptr) continue;
-    candidates.emplace_back(nic.get(), theirs);
+    if (ncand < kInlineCandidates && overflow.empty()) {
+      inline_cand[ncand++] = {nic.get(), theirs};
+    } else {
+      if (overflow.empty()) overflow.assign(inline_cand, inline_cand + ncand);
+      overflow.emplace_back(nic.get(), theirs);
+      ++ncand;
+    }
   }
-  if (candidates.empty())
+  if (ncand == 0)
     return Error{Errc::unreachable, "no shared network between " + name_ + " and " + dst.host};
+  Candidate* first = overflow.empty() ? inline_cand : overflow.data();
+  Candidate* last = first + ncand;
 
-  std::stable_sort(candidates.begin(), candidates.end(), [](const auto& a, const auto& b) {
+  auto faster = [](const Candidate& a, const Candidate& b) {
     const MediaModel& ma = a.first->network()->model();
     const MediaModel& mb = b.first->network()->model();
     double ea = ma.bandwidth_bps * (1.0 - ma.cell_tax);
@@ -96,15 +112,21 @@ Result<std::string> Host::send(const Address& dst, Bytes payload, const SendOpti
     if (ea != eb) return ea > eb;
     if (ma.latency != mb.latency) return ma.latency < mb.latency;
     return a.first->network()->name() < b.first->network()->name();
-  });
+  };
+  for (Candidate* i = first + 1; i < last; ++i) {
+    Candidate key = *i;
+    Candidate* j = i;
+    for (; j > first && faster(key, j[-1]); --j) *j = j[-1];
+    *j = key;
+  }
   if (!opts.preferred_network.empty()) {
-    auto it = std::find_if(candidates.begin(), candidates.end(), [&](const auto& c) {
+    Candidate* it = std::find_if(first, last, [&](const Candidate& c) {
       return c.first->network()->name() == opts.preferred_network;
     });
-    if (it != candidates.end()) std::rotate(candidates.begin(), it, it + 1);
+    if (it != last) std::rotate(first, it, it + 1);
   }
 
-  auto [ours, theirs] = candidates.front();
+  auto [ours, theirs] = *first;
   Network* net = ours->network();
   if (payload.size() > net->model().mtu)
     return Error{Errc::invalid_argument,
@@ -148,7 +170,7 @@ void Host::deliver(Packet packet, Network* network) {
   it->second(packet);
 }
 
-Result<void> Host::broadcast(const std::string& network, std::uint16_t port, Bytes payload,
+Result<void> Host::broadcast(const std::string& network, std::uint16_t port, Payload payload,
                              std::uint16_t src_port) {
   if (!up_) return Error{Errc::unreachable, name_ + " is down"};
   Nic* ours = nic_on(network);

@@ -27,6 +27,7 @@
 #include "simnet/media.hpp"
 #include "util/bytes.hpp"
 #include "util/log.hpp"
+#include "util/payload.hpp"
 #include "util/result.hpp"
 
 namespace snipe::simnet {
@@ -45,11 +46,12 @@ struct Address {
   }
 };
 
-/// A delivered datagram.
+/// A delivered datagram.  The payload is a shared immutable view: every
+/// copy of a Packet (duplication, broadcast fan-out) shares the same bytes.
 struct Packet {
   Address src;
   Address dst;
-  Bytes payload;
+  Payload payload;
   std::string network;  ///< network it arrived on
 };
 
@@ -158,11 +160,12 @@ class Host {
   ///   unreachable       if no shared network is up or the host is down.
   /// On success returns the name of the network used.  Loss is applied at
   /// delivery time; a lost packet still returns success here, as with UDP.
-  Result<std::string> send(const Address& dst, Bytes payload, const SendOptions& opts = {});
+  Result<std::string> send(const Address& dst, Payload payload, const SendOptions& opts = {});
 
   /// Sends to every other up NIC on `network` (link-level broadcast, used
-  /// by the experimental Ethernet multicast protocol of §6).
-  Result<void> broadcast(const std::string& network, std::uint16_t port, Bytes payload,
+  /// by the experimental Ethernet multicast protocol of §6).  Receivers
+  /// share one payload; no per-receiver copy is made.
+  Result<void> broadcast(const std::string& network, std::uint16_t port, Payload payload,
                          std::uint16_t src_port = 0);
 
   /// The NIC attaching this host to `network`, or nullptr.

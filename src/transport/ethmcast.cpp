@@ -36,7 +36,7 @@ EthMcastEndpoint::~EthMcastEndpoint() {
   for (auto& [key, msg] : in_) engine_.cancel(msg.nack_timer);
 }
 
-void EthMcastEndpoint::send(Bytes message) {
+void EthMcastEndpoint::send(Payload message) {
   OutMessage msg;
   msg.frag_size = frag_payload_;
   msg.frag_count =
@@ -62,7 +62,7 @@ void EthMcastEndpoint::broadcast_fragment(const OutMessage& msg, std::uint64_t m
   p.total_len = static_cast<std::uint32_t>(msg.data.size());
   std::size_t begin = static_cast<std::size_t>(index) * msg.frag_size;
   std::size_t end = std::min(msg.data.size(), begin + msg.frag_size);
-  if (begin < end) p.payload.assign(msg.data.begin() + begin, msg.data.begin() + end);
+  if (begin < end) p.payload = msg.data.slice(begin, end - begin);
   ++stats_.fragments_broadcast;
   auto r = host_.broadcast(network_, port_, encode_mcast_data(port_, p), port_);
   if (!r) log_.trace("broadcast failed: ", r.error().to_string());
@@ -118,9 +118,9 @@ void EthMcastEndpoint::on_packet(const simnet::Packet& packet) {
   }
 
   if (msg.have_count == msg.frag_count) {
-    Bytes assembled;
-    assembled.reserve(msg.total_len);
-    for (auto& frag : msg.frags) assembled.insert(assembled.end(), frag.begin(), frag.end());
+    Payload assembled;
+    for (auto& frag : msg.frags) assembled.append(std::move(frag));
+    assembled.flatten();  // no-op when the fragments coalesced
     engine_.cancel(msg.nack_timer);
     in_.erase(it);
     auto& up_to = delivered_up_to_[sender.host];

@@ -40,8 +40,10 @@ struct EthMcastStats {
 /// receiver for a given (network segment, group, port).
 class EthMcastEndpoint {
  public:
+  /// Delivered messages are contiguous Payloads; on a clean path the bytes
+  /// alias the sender's original buffer (fragments coalesce on reassembly).
   using MessageHandler =
-      std::function<void(const simnet::Address& src, Bytes message)>;
+      std::function<void(const simnet::Address& src, Payload message)>;
 
   EthMcastEndpoint(simnet::Host& host, const std::string& network, const std::string& group,
                    std::uint16_t port, EthMcastConfig config = {});
@@ -49,19 +51,19 @@ class EthMcastEndpoint {
 
   /// Broadcasts `message` to every other endpoint of this group on the
   /// segment.  Reliability is NACK-driven.
-  void send(Bytes message);
+  void send(Payload message);
   void set_handler(MessageHandler handler) { handler_ = std::move(handler); }
 
   const EthMcastStats& stats() const { return stats_; }
 
  private:
   struct OutMessage {
-    Bytes data;
+    Payload data;  ///< the whole message; fragments are slices of it
     std::uint32_t frag_count = 0;
     std::size_t frag_size = 0;
   };
   struct InMessage {
-    std::vector<Bytes> frags;
+    std::vector<Payload> frags;  ///< slices of the sender's buffer
     Bytes have;
     std::uint32_t have_count = 0;
     std::uint32_t frag_count = 0;

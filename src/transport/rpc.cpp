@@ -7,7 +7,7 @@ RpcEndpoint::RpcEndpoint(simnet::Host& host, std::uint16_t port, RpcConfig confi
       engine_(host.world()->engine()),
       config_(std::move(config)),
       log_("rpc@" + host.name() + ":" + std::to_string(srudp_.port())) {
-  srudp_.set_handler([this](const simnet::Address& src, Bytes msg) {
+  srudp_.set_handler([this](const simnet::Address& src, Payload msg) {
     on_message(src, std::move(msg));
   });
 }
@@ -76,8 +76,10 @@ void RpcEndpoint::send_reply(const simnet::Address& src, std::uint64_t id, std::
   srudp_.send(src, std::move(w).take());
 }
 
-void RpcEndpoint::on_message(const simnet::Address& src, Bytes msg) {
-  ByteReader r(msg);
+void RpcEndpoint::on_message(const simnet::Address& src, Payload msg) {
+  // SRUDP delivers contiguous payloads, so ByteReader can run over the
+  // shared bytes directly; blob() below copies only the body it keeps.
+  ByteReader r(msg.data(), msg.size());
   auto kind_raw = r.u8();
   auto id = r.u64();
   auto tag = r.u32();

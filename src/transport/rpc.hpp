@@ -113,7 +113,7 @@ class RpcEndpoint {
  private:
   enum class Kind : std::uint8_t { request = 1, response = 2, error = 3, oneway = 4 };
 
-  void on_message(const simnet::Address& src, Bytes msg);
+  void on_message(const simnet::Address& src, Payload msg);
   void send_reply(const simnet::Address& src, std::uint64_t id, std::uint32_t tag,
                   const Result<Bytes>& result);
   Bytes authenticator(const Bytes& payload) const;

@@ -23,8 +23,8 @@ SrudpEndpoint::SrudpEndpoint(simnet::Host& host, std::uint16_t port, SrudpConfig
   assert(!host_.nics().empty() && "SRUDP endpoint on an unattached host");
   // Clamp before subtracting: an MTU at or below the header size would
   // otherwise wrap the unsigned difference to a huge fragment budget.
-  frag_payload_ =
-      std::max(kMinFragPayload, budget - std::min(budget, kDataHeaderBytes));
+  std::size_t header = config_.checksum ? kDataCkHeaderBytes : kDataHeaderBytes;
+  frag_payload_ = std::max(kMinFragPayload, budget - std::min(budget, header));
   host_.bind(port_, [this](const simnet::Packet& p) { on_packet(p); }).value();
 
   auto& registry = obs::MetricsRegistry::global();
@@ -46,6 +46,8 @@ SrudpEndpoint::SrudpEndpoint(simnet::Host& host, std::uint16_t port, SrudpConfig
   metrics_sources_.add("srudp.bytes_delivered",
                        [this] { return stats_.bytes_delivered.v; });
   metrics_sources_.add("srudp.route_switches", [this] { return stats_.route_switches.v; });
+  metrics_sources_.add("srudp.checksum_rejects",
+                       [this] { return stats_.checksum_rejects.v; });
 }
 
 SrudpEndpoint::~SrudpEndpoint() {
@@ -57,7 +59,7 @@ SrudpEndpoint::~SrudpEndpoint() {
   }
 }
 
-std::uint64_t SrudpEndpoint::send(const simnet::Address& dst, Bytes message) {
+std::uint64_t SrudpEndpoint::send(const simnet::Address& dst, Payload message) {
   auto& out = out_[dst];
   if (out.rto == 0) out.rto = config_.initial_rto;
 
@@ -125,7 +127,8 @@ void SrudpEndpoint::send_fragment(const simnet::Address& peer, PeerOut& out, Out
   p.total_len = static_cast<std::uint32_t>(msg.data.size());
   std::size_t begin = static_cast<std::size_t>(index) * msg.frag_size;
   std::size_t end = std::min(msg.data.size(), begin + msg.frag_size);
-  if (begin < end) p.payload.assign(msg.data.begin() + begin, msg.data.begin() + end);
+  // A fragment is a *slice* of the message buffer, not a copy of it.
+  if (begin < end) p.payload = msg.data.slice(begin, end - begin);
 
   if (msg.first_sent < 0) msg.first_sent = engine_.now();
   if (retransmission) {
@@ -134,10 +137,10 @@ void SrudpEndpoint::send_fragment(const simnet::Address& peer, PeerOut& out, Out
   }
   ++stats_.fragments_sent;
   ++out.inflight;
-  raw_send(peer, &out, encode_data(port_, p));
+  raw_send(peer, &out, encode_data(port_, p, config_.checksum));
 }
 
-void SrudpEndpoint::raw_send(const simnet::Address& peer, PeerOut* out, Bytes wire) {
+void SrudpEndpoint::raw_send(const simnet::Address& peer, PeerOut* out, Payload wire) {
   simnet::SendOptions opts;
   opts.src_port = port_;
   if (out != nullptr) opts.preferred_network = out->path.preferred();
@@ -210,9 +213,17 @@ void SrudpEndpoint::on_packet(const simnet::Packet& packet) {
   if (!head) return;
   simnet::Address peer{packet.src.host, head.value().src_port};
   switch (head.value().type) {
-    case PacketType::data: {
+    case PacketType::data:
+    case PacketType::data_ck: {
       auto p = decode_data(packet.payload);
-      if (p) on_data(peer, p.value());
+      if (!p) break;
+      if (!p.value().checksum_ok) {
+        // Corrupt payload caught by the opt-in checksum: drop the fragment;
+        // selective re-send recovers it like any other loss.
+        ++stats_.checksum_rejects;
+        break;
+      }
+      on_data(peer, p.value());
       break;
     }
     case PacketType::status: {
@@ -273,11 +284,11 @@ void SrudpEndpoint::on_data(const simnet::Address& peer, const DataPacket& p) {
   ++msg.since_status;
 
   if (msg.have_count == msg.frag_count) {
-    // Complete: assemble, ack, and run the in-order delivery loop.
-    Bytes assembled;
-    assembled.reserve(msg.total_len);
-    for (auto& frag : msg.frags)
-      assembled.insert(assembled.end(), frag.begin(), frag.end());
+    // Complete: splice the fragment slices back together.  On a clean path
+    // they are adjacent windows of the sender's original buffer, so append
+    // coalesces them into one segment and no bytes move at all.
+    Payload assembled;
+    for (auto& frag : msg.frags) assembled.append(std::move(frag));
     engine_.cancel(msg.status_timer);
     in.partial.erase(it);
     if (assembled.size() != p.total_len) {
@@ -368,11 +379,14 @@ void SrudpEndpoint::try_deliver(const simnet::Address& peer) {
   while (true) {
     auto it = in.complete.find(in.next_deliver);
     if (it == in.complete.end()) break;
-    Bytes payload = std::move(it->second);
+    Payload payload = std::move(it->second);
     in.complete.erase(it);
     ++in.next_deliver;
     ++stats_.messages_delivered;
     stats_.bytes_delivered += payload.size();
+    // Handlers are promised contiguous bytes; flatten() only copies when
+    // coalescing failed (e.g. a corrupted fragment was cloned mid-message).
+    payload.flatten();
     if (handler_) handler_(peer, std::move(payload));
   }
   if (!in.complete.empty()) {

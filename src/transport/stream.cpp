@@ -61,7 +61,7 @@ void StreamEndpoint::on_packet(const simnet::Packet& packet) {
   it->second->on_packet(type, p.value());
 }
 
-void StreamEndpoint::raw_send(const simnet::Address& dst, Bytes wire) {
+void StreamEndpoint::raw_send(const simnet::Address& dst, Payload wire) {
   simnet::SendOptions opts;
   opts.src_port = port_;
   auto r = host_.send(dst, std::move(wire), opts);
@@ -102,11 +102,13 @@ void StreamConnection::send_control(PacketType type) {
   endpoint_->raw_send(peer_, encode_stream(type, endpoint_->port(), p));
 }
 
-void StreamConnection::send_message(const Bytes& message) {
-  ByteWriter w;
+void StreamConnection::send_message(Payload message) {
+  // Splice the 4-byte length prefix (pooled scratch) and the caller's
+  // message buffer into the send buffer without copying either.
+  PayloadWriter w;
   w.u32(static_cast<std::uint32_t>(message.size()));
-  w.raw(message);
-  for (auto b : w.bytes()) send_buffer_.push_back(b);
+  w.append(message);
+  send_buffer_.append(std::move(w).take());
   if (state_ == State::established) pump();
 }
 
@@ -131,9 +133,8 @@ void StreamConnection::send_segment(std::uint64_t seq, std::size_t len, bool ret
   p.seq = seq;
   p.ack = rcv_nxt;
   p.window = static_cast<std::uint32_t>(endpoint_->config().rwnd);
-  p.payload.reserve(len);
   std::size_t offset = static_cast<std::size_t>(seq - snd_una);
-  for (std::size_t i = 0; i < len; ++i) p.payload.push_back(send_buffer_[offset + i]);
+  p.payload = send_buffer_.slice(offset, len);
 
   if (retransmission) {
     ++stats_.segments_retransmitted;
@@ -238,7 +239,7 @@ void StreamConnection::on_data_segment(const StreamPacket& p) {
   }
   // Accept [rcv_nxt, ...) — the segment may partially overlap old data.
   std::size_t skip = static_cast<std::size_t>(rcv_nxt - p.seq);
-  receive_buffer_.insert(receive_buffer_.end(), p.payload.begin() + skip, p.payload.end());
+  receive_buffer_.append(p.payload.slice(skip, p.payload.size() - skip));
   rcv_nxt += p.payload.size() - skip;
   deliver_contiguous();
   send_control(PacketType::ack);
@@ -249,10 +250,10 @@ void StreamConnection::deliver_contiguous() {
   while (!out_of_order_.empty()) {
     auto it = out_of_order_.begin();
     if (it->first > rcv_nxt) break;
-    const Bytes& seg = it->second;
+    const Payload& seg = it->second;
     if (it->first + seg.size() > rcv_nxt) {
       std::size_t skip = static_cast<std::size_t>(rcv_nxt - it->first);
-      receive_buffer_.insert(receive_buffer_.end(), seg.begin() + skip, seg.end());
+      receive_buffer_.append(seg.slice(skip, seg.size() - skip));
       rcv_nxt += seg.size() - skip;
     }
     out_of_order_.erase(it);
@@ -262,13 +263,16 @@ void StreamConnection::deliver_contiguous() {
 void StreamConnection::parse_messages() {
   while (true) {
     if (receive_buffer_.size() < 4) return;
-    ByteReader r(receive_buffer_);
+    PayloadCursor r(receive_buffer_);
     std::uint32_t len = r.u32().value();
     if (receive_buffer_.size() < 4u + len) return;
-    Bytes message(receive_buffer_.begin() + 4, receive_buffer_.begin() + 4 + len);
-    receive_buffer_.erase(receive_buffer_.begin(), receive_buffer_.begin() + 4 + len);
+    Payload message = receive_buffer_.slice(4, len);
+    receive_buffer_ = receive_buffer_.slice(4 + len, receive_buffer_.size() - 4 - len);
     ++stats_.messages_delivered;
     stats_.bytes_delivered += message.size();
+    // Segments that were sliced from one original message buffer coalesced
+    // back during reassembly, making this a no-op on the clean path.
+    message.flatten();
     if (on_message_) on_message_(std::move(message));
   }
 }
@@ -278,9 +282,9 @@ void StreamConnection::on_ack(const StreamPacket& p) {
   peer_window_ = p.window;
   if (p.ack > snd_una) {
     std::uint64_t acked = p.ack - snd_una;
-    send_buffer_.erase(send_buffer_.begin(),
-                       send_buffer_.begin() + static_cast<std::ptrdiff_t>(
-                                                  std::min<std::uint64_t>(acked, send_buffer_.size())));
+    std::size_t drop = static_cast<std::size_t>(
+        std::min<std::uint64_t>(acked, send_buffer_.size()));
+    send_buffer_ = send_buffer_.slice(drop, send_buffer_.size() - drop);
     snd_una = p.ack;
     if (snd_nxt < snd_una) snd_nxt = snd_una;
     dup_acks_ = 0;

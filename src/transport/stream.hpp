@@ -12,7 +12,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -47,11 +46,15 @@ class StreamEndpoint;
 /// One direction-pair of an established (or establishing) connection.
 class StreamConnection {
  public:
-  using MessageHandler = std::function<void(Bytes message)>;
+  /// Messages are delivered as contiguous Payloads; on a clean path the
+  /// bytes alias the sender's original message buffer (segments are slices
+  /// of the send buffer, which itself splices in the callers' buffers).
+  using MessageHandler = std::function<void(Payload message)>;
   using ConnectHandler = std::function<void(Result<void>)>;
 
-  /// Queues a length-prefixed message onto the stream.
-  void send_message(const Bytes& message);
+  /// Queues a length-prefixed message onto the stream (by reference — the
+  /// message buffer is shared, not copied, until the wire).
+  void send_message(Payload message);
   void set_message_handler(MessageHandler h) { on_message_ = std::move(h); }
   /// Fires once when the handshake completes (client side).
   void set_connect_handler(ConnectHandler h) { on_connect_ = std::move(h); }
@@ -89,7 +92,7 @@ class StreamConnection {
   State state_ = State::closed;
 
   // --- send side ---
-  std::deque<std::uint8_t> send_buffer_;  ///< bytes [snd_una, end)
+  Payload send_buffer_;  ///< bytes [snd_una, end); segments alias messages
   std::uint64_t snd_una = 0;
   std::uint64_t snd_nxt = 0;
   double cwnd = 0;
@@ -106,8 +109,8 @@ class StreamConnection {
 
   // --- receive side ---
   std::uint64_t rcv_nxt = 0;
-  std::map<std::uint64_t, Bytes> out_of_order_;
-  Bytes receive_buffer_;  ///< contiguous bytes not yet parsed into messages
+  std::map<std::uint64_t, Payload> out_of_order_;
+  Payload receive_buffer_;  ///< contiguous bytes not yet parsed into messages
 
   MessageHandler on_message_;
   ConnectHandler on_connect_;
@@ -140,7 +143,7 @@ class StreamEndpoint {
  private:
   friend class StreamConnection;
   void on_packet(const simnet::Packet& packet);
-  void raw_send(const simnet::Address& dst, Bytes wire);
+  void raw_send(const simnet::Address& dst, Payload wire);
 
   simnet::Host& host_;
   simnet::Engine& engine_;

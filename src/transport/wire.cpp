@@ -3,15 +3,15 @@
 namespace snipe::transport {
 
 namespace {
-ByteWriter begin(PacketType type, std::uint16_t src_port) {
-  ByteWriter w;
+PayloadWriter begin(PacketType type, std::uint16_t src_port) {
+  PayloadWriter w;
   w.u8(static_cast<std::uint8_t>(type));
   w.u16(src_port);
   return w;
 }
 
-Result<ByteReader> open(const Bytes& wire) {
-  ByteReader r(wire);
+Result<PayloadCursor> open(const Payload& wire) {
+  PayloadCursor r(wire);
   auto type = r.u8();
   if (!type) return type.error();
   auto port = r.u16();
@@ -25,17 +25,28 @@ Result<ByteReader> open(const Bytes& wire) {
 Error trailing_bytes() { return Error{Errc::corrupt, "trailing bytes"}; }
 }  // namespace
 
-Bytes encode_data(std::uint16_t src_port, const DataPacket& p) {
-  auto w = begin(PacketType::data, src_port);
+std::uint32_t payload_checksum(const Payload& p) {
+  std::uint32_t h = 2166136261u;  // FNV-1a offset basis
+  for (std::size_t i = 0; i < p.segment_count(); ++i) {
+    const Payload::Segment& s = p.segment(i);
+    const std::uint8_t* d = s.data();
+    for (std::size_t j = 0; j < s.len; ++j) h = (h ^ d[j]) * 16777619u;
+  }
+  return h;
+}
+
+Payload encode_data(std::uint16_t src_port, const DataPacket& p, bool with_checksum) {
+  auto w = begin(with_checksum ? PacketType::data_ck : PacketType::data, src_port);
   w.u64(p.msg_id);
   w.u32(p.frag_index);
   w.u32(p.frag_count);
   w.u32(p.total_len);
+  if (with_checksum) w.u32(payload_checksum(p.payload));
   w.blob(p.payload);
   return std::move(w).take();
 }
 
-Bytes encode_status(std::uint16_t src_port, const StatusPacket& p) {
+Payload encode_status(std::uint16_t src_port, const StatusPacket& p) {
   auto w = begin(PacketType::status, src_port);
   w.u64(p.msg_id);
   w.u32(p.frag_count);
@@ -43,13 +54,13 @@ Bytes encode_status(std::uint16_t src_port, const StatusPacket& p) {
   return std::move(w).take();
 }
 
-Bytes encode_msg_id(PacketType type, std::uint16_t src_port, const MsgIdPacket& p) {
+Payload encode_msg_id(PacketType type, std::uint16_t src_port, const MsgIdPacket& p) {
   auto w = begin(type, src_port);
   w.u64(p.msg_id);
   return std::move(w).take();
 }
 
-Bytes encode_stream(PacketType type, std::uint16_t src_port, const StreamPacket& p) {
+Payload encode_stream(PacketType type, std::uint16_t src_port, const StreamPacket& p) {
   auto w = begin(type, src_port);
   w.u32(p.conn_id);
   w.u64(p.seq);
@@ -59,7 +70,7 @@ Bytes encode_stream(PacketType type, std::uint16_t src_port, const StreamPacket&
   return std::move(w).take();
 }
 
-Bytes encode_mcast_data(std::uint16_t src_port, const McastDataPacket& p) {
+Payload encode_mcast_data(std::uint16_t src_port, const McastDataPacket& p) {
   auto w = begin(PacketType::mdata, src_port);
   w.str(p.group);
   w.u64(p.msg_id);
@@ -70,7 +81,7 @@ Bytes encode_mcast_data(std::uint16_t src_port, const McastDataPacket& p) {
   return std::move(w).take();
 }
 
-Bytes encode_mcast_nack(std::uint16_t src_port, const McastNackPacket& p) {
+Payload encode_mcast_nack(std::uint16_t src_port, const McastNackPacket& p) {
   auto w = begin(PacketType::mnack, src_port);
   w.str(p.group);
   w.u64(p.msg_id);
@@ -79,8 +90,8 @@ Bytes encode_mcast_nack(std::uint16_t src_port, const McastNackPacket& p) {
   return std::move(w).take();
 }
 
-Result<PacketHead> decode_head(const Bytes& wire) {
-  ByteReader r(wire);
+Result<PacketHead> decode_head(const Payload& wire) {
+  PayloadCursor r(wire);
   auto type = r.u8();
   if (!type) return type.error();
   auto port = r.u16();
@@ -88,23 +99,33 @@ Result<PacketHead> decode_head(const Bytes& wire) {
   return PacketHead{static_cast<PacketType>(type.value()), port.value()};
 }
 
-Result<DataPacket> decode_data(const Bytes& wire) {
-  auto r = open(wire);
-  if (!r) return r.error();
+Result<DataPacket> decode_data(const Payload& wire) {
+  PayloadCursor r(wire);
+  auto type = r.u8();
+  if (!type) return type.error();
+  auto port = r.u16();
+  if (!port) return port.error();
   DataPacket p;
-  auto msg_id = r.value().u64();
+  p.has_checksum = static_cast<PacketType>(type.value()) == PacketType::data_ck;
+  auto msg_id = r.u64();
   if (!msg_id) return msg_id.error();
   p.msg_id = msg_id.value();
-  auto frag_index = r.value().u32();
+  auto frag_index = r.u32();
   if (!frag_index) return frag_index.error();
   p.frag_index = frag_index.value();
-  auto frag_count = r.value().u32();
+  auto frag_count = r.u32();
   if (!frag_count) return frag_count.error();
   p.frag_count = frag_count.value();
-  auto total_len = r.value().u32();
+  auto total_len = r.u32();
   if (!total_len) return total_len.error();
   p.total_len = total_len.value();
-  auto payload = r.value().blob();
+  std::uint32_t wire_sum = 0;
+  if (p.has_checksum) {
+    auto sum = r.u32();
+    if (!sum) return sum.error();
+    wire_sum = sum.value();
+  }
+  auto payload = r.blob();
   if (!payload) return payload.error();
   p.payload = std::move(payload).take();
   if (p.frag_count == 0 || p.frag_index >= p.frag_count)
@@ -113,11 +134,12 @@ Result<DataPacket> decode_data(const Bytes& wire) {
     return Error{Errc::corrupt, "absurd fragment count"};
   if (p.frag_count > 1 && p.total_len == 0)
     return Error{Errc::corrupt, "multi-fragment message with zero length"};
-  if (r.value().remaining() != 0) return trailing_bytes();
+  if (r.remaining() != 0) return trailing_bytes();
+  if (p.has_checksum) p.checksum_ok = payload_checksum(p.payload) == wire_sum;
   return p;
 }
 
-Result<StatusPacket> decode_status(const Bytes& wire) {
+Result<StatusPacket> decode_status(const Payload& wire) {
   auto r = open(wire);
   if (!r) return r.error();
   StatusPacket p;
@@ -129,7 +151,7 @@ Result<StatusPacket> decode_status(const Bytes& wire) {
   p.frag_count = frag_count.value();
   auto bitmap = r.value().blob();
   if (!bitmap) return bitmap.error();
-  p.bitmap = std::move(bitmap).take();
+  p.bitmap = bitmap.value().to_bytes();
   if (p.frag_count > kMaxWireFragments)
     return Error{Errc::corrupt, "absurd status fragment count"};
   if (p.bitmap.size() * 8 < p.frag_count)
@@ -138,7 +160,7 @@ Result<StatusPacket> decode_status(const Bytes& wire) {
   return p;
 }
 
-Result<MsgIdPacket> decode_msg_id(const Bytes& wire) {
+Result<MsgIdPacket> decode_msg_id(const Payload& wire) {
   auto r = open(wire);
   if (!r) return r.error();
   auto msg_id = r.value().u64();
@@ -147,7 +169,7 @@ Result<MsgIdPacket> decode_msg_id(const Bytes& wire) {
   return MsgIdPacket{msg_id.value()};
 }
 
-Result<StreamPacket> decode_stream(const Bytes& wire) {
+Result<StreamPacket> decode_stream(const Payload& wire) {
   auto r = open(wire);
   if (!r) return r.error();
   StreamPacket p;
@@ -170,7 +192,7 @@ Result<StreamPacket> decode_stream(const Bytes& wire) {
   return p;
 }
 
-Result<McastDataPacket> decode_mcast_data(const Bytes& wire) {
+Result<McastDataPacket> decode_mcast_data(const Payload& wire) {
   auto r = open(wire);
   if (!r) return r.error();
   McastDataPacket p;
@@ -202,7 +224,7 @@ Result<McastDataPacket> decode_mcast_data(const Bytes& wire) {
   return p;
 }
 
-Result<McastNackPacket> decode_mcast_nack(const Bytes& wire) {
+Result<McastNackPacket> decode_mcast_nack(const Payload& wire) {
   auto r = open(wire);
   if (!r) return r.error();
   McastNackPacket p;

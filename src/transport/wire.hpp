@@ -4,11 +4,18 @@
 // datagrams: a selective re-send UDP protocol ("SRUDP" here), TCP, and an
 // experimental Ethernet multicast.  Every packet starts with a one-byte
 // type and the sender's reply port; the rest is protocol-specific.
+//
+// Encoders produce a Payload whose byte sequence is exactly what the old
+// ByteWriter emitted: a small pooled header segment followed by the data
+// segments spliced in by reference.  A DATA fragment therefore *aliases*
+// the sender's message buffer instead of copying its slice, and decoders
+// return payload fields as zero-copy slices of the received packet.
 #pragma once
 
 #include <cstdint>
 
 #include "util/bytes.hpp"
+#include "util/payload.hpp"
 #include "util/result.hpp"
 
 namespace snipe::transport {
@@ -19,6 +26,7 @@ enum class PacketType : std::uint8_t {
   msg_ack = 2,  ///< whole message received
   status = 3,   ///< receiver's fragment bitmap (drives selective re-send)
   probe = 4,    ///< sender asking for a status report
+  data_ck = 5,  ///< DATA with an FNV-1a payload checksum (SrudpConfig::checksum)
   // Stream (TCP-like)
   syn = 10,
   syn_ack = 11,
@@ -37,13 +45,16 @@ struct PacketHead {
   std::uint16_t src_port = 0;  ///< sender's transport endpoint port
 };
 
-/// SRUDP DATA fragment.
+/// SRUDP DATA fragment.  `payload` is a slice of the received datagram (or,
+/// on the send side, of the message being fragmented) — never a copy.
 struct DataPacket {
   std::uint64_t msg_id = 0;
   std::uint32_t frag_index = 0;
   std::uint32_t frag_count = 0;
   std::uint32_t total_len = 0;  ///< full message length, for sanity checks
-  Bytes payload;
+  Payload payload;
+  bool has_checksum = false;    ///< wire type was data_ck
+  bool checksum_ok = true;      ///< checksum verified (always true for data)
 };
 
 /// SRUDP STATUS: which fragments of `msg_id` the receiver holds.
@@ -64,7 +75,7 @@ struct StreamPacket {
   std::uint64_t seq = 0;       ///< first payload byte's stream offset
   std::uint64_t ack = 0;       ///< cumulative ack (next expected offset)
   std::uint32_t window = 0;    ///< receiver's advertised window
-  Bytes payload;
+  Payload payload;
 };
 
 /// Multicast data: like DataPacket plus the group it belongs to.
@@ -74,7 +85,7 @@ struct McastDataPacket {
   std::uint32_t frag_index = 0;
   std::uint32_t frag_count = 0;
   std::uint32_t total_len = 0;
-  Bytes payload;
+  Payload payload;
 };
 
 /// Multicast NACK: fragments a receiver is missing.
@@ -94,24 +105,35 @@ constexpr std::uint32_t kMaxWireFragments = 1u << 20;
 /// Number of bytes the SRUDP DATA header occupies on the wire; used to
 /// compute fragment payload budgets from the MTU.
 constexpr std::size_t kDataHeaderBytes = 1 + 2 + 8 + 4 + 4 + 4 + 4;  // +4 blob len
+/// DATA with checksum (data_ck) carries an extra u32 before the blob.
+constexpr std::size_t kDataCkHeaderBytes = kDataHeaderBytes + 4;
 /// Ditto for stream segments.
 constexpr std::size_t kStreamHeaderBytes = 1 + 2 + 4 + 8 + 8 + 4 + 4;
 
-Bytes encode_data(std::uint16_t src_port, const DataPacket& p);
-Bytes encode_status(std::uint16_t src_port, const StatusPacket& p);
-Bytes encode_msg_id(PacketType type, std::uint16_t src_port, const MsgIdPacket& p);
-Bytes encode_stream(PacketType type, std::uint16_t src_port, const StreamPacket& p);
-Bytes encode_mcast_data(std::uint16_t src_port, const McastDataPacket& p);
-Bytes encode_mcast_nack(std::uint16_t src_port, const McastNackPacket& p);
+/// FNV-1a (32-bit) over a payload's bytes — the opt-in SRUDP fragment
+/// checksum.  The 1998 wire format had none; see SrudpConfig::checksum.
+std::uint32_t payload_checksum(const Payload& p);
+
+/// `with_checksum` emits PacketType::data_ck and the payload checksum; the
+/// default emits the bare 1998 format byte-for-byte.
+Payload encode_data(std::uint16_t src_port, const DataPacket& p, bool with_checksum = false);
+Payload encode_status(std::uint16_t src_port, const StatusPacket& p);
+Payload encode_msg_id(PacketType type, std::uint16_t src_port, const MsgIdPacket& p);
+Payload encode_stream(PacketType type, std::uint16_t src_port, const StreamPacket& p);
+Payload encode_mcast_data(std::uint16_t src_port, const McastDataPacket& p);
+Payload encode_mcast_nack(std::uint16_t src_port, const McastNackPacket& p);
 
 /// Peeks the packet type + reply port; fails on an empty/unknown packet.
-Result<PacketHead> decode_head(const Bytes& wire);
-Result<DataPacket> decode_data(const Bytes& wire);
-Result<StatusPacket> decode_status(const Bytes& wire);
-Result<MsgIdPacket> decode_msg_id(const Bytes& wire);
-Result<StreamPacket> decode_stream(const Bytes& wire);
-Result<McastDataPacket> decode_mcast_data(const Bytes& wire);
-Result<McastNackPacket> decode_mcast_nack(const Bytes& wire);
+Result<PacketHead> decode_head(const Payload& wire);
+/// Accepts both data and data_ck; for data_ck the checksum is verified and
+/// reported via DataPacket::checksum_ok (the caller decides whether to
+/// reject, so it can count rejects separately from undecodable packets).
+Result<DataPacket> decode_data(const Payload& wire);
+Result<StatusPacket> decode_status(const Payload& wire);
+Result<MsgIdPacket> decode_msg_id(const Payload& wire);
+Result<StreamPacket> decode_stream(const Payload& wire);
+Result<McastDataPacket> decode_mcast_data(const Payload& wire);
+Result<McastNackPacket> decode_mcast_nack(const Payload& wire);
 
 /// Fragment bitmap helpers.
 bool bitmap_get(const Bytes& bitmap, std::uint32_t index);

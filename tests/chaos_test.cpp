@@ -60,7 +60,7 @@ GauntletResult run_srudp_gauntlet(std::uint64_t seed) {
   transport::SrudpEndpoint sender(*world.host("a"), 7000);
   transport::SrudpEndpoint receiver(*world.host("b"), 7000);
   chaos::DeliveryLedger ledger;
-  receiver.set_handler([&ledger](const Address& src, Bytes m) {
+  receiver.set_handler([&ledger](const Address& src, Payload m) {
     ledger.on_deliver(src.host, std::move(m));
   });
 
@@ -157,7 +157,7 @@ CorruptionResult run_srudp_corruption(std::uint64_t seed) {
   transport::SrudpEndpoint receiver(*world.host("b"), 7000, cfg);
   CorruptionResult r;
   receiver.set_handler(
-      [&r](const Address&, Bytes m) { r.got_sizes.push_back(m.size()); });
+      [&r](const Address&, Payload m) { r.got_sizes.push_back(m.size()); });
 
   FaultPlan plan(world, seed + 77);
   FaultProfile profile;
@@ -221,7 +221,7 @@ TEST(ChaosStream, MessagesSurviveLossDupReorderAndPartition) {
     std::vector<std::shared_ptr<transport::StreamConnection>> accepted;
     server.listen([&](std::shared_ptr<transport::StreamConnection> conn) {
       conn->set_message_handler(
-          [&ledger](Bytes m) { ledger.on_deliver("a", std::move(m)); });
+          [&ledger](Payload m) { ledger.on_deliver("a", m); });
       accepted.push_back(std::move(conn));
     });
     auto conn = client.connect({"b", 5000});
@@ -277,7 +277,7 @@ TEST(ChaosEthMcast, AllMembersReceiveEverythingExactlyOnce) {
       members.push_back(std::make_unique<transport::EthMcastEndpoint>(
           *world.host(names[i]), "seg", "grp", 6000));
       members.back()->set_handler(
-          [&got, i](const Address&, Bytes m) { got[i].push_back(std::move(m)); });
+          [&got, i](const Address&, Payload m) { got[i].push_back(m.to_bytes()); });
     }
 
     FaultPlan plan(world, seed + 9);
@@ -477,7 +477,7 @@ TEST(ChaosObs, ExpiredAndSkippedCountsMatchMetricsRegistry) {
   transport::SrudpEndpoint sender(*world.host("a"), 7000, cfg);
   transport::SrudpEndpoint receiver(*world.host("b"), 7000, cfg);
   std::vector<std::size_t> got;
-  receiver.set_handler([&got](const Address&, Bytes m) { got.push_back(m.size()); });
+  receiver.set_handler([&got](const Address&, Payload m) { got.push_back(m.size()); });
 
   // Message 1 dies against a crashed receiver; message 2, sent after the
   // reboot, is delivered only once the receiver skips the HOL gap.

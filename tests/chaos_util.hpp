@@ -86,6 +86,9 @@ struct DeliveryLedger {
   void on_deliver(const std::string& from, Bytes payload) {
     received[from].push_back(std::move(payload));
   }
+  void on_deliver(const std::string& from, const Payload& payload) {
+    received[from].push_back(payload.to_bytes());
+  }
 
   /// True when every sent message arrived exactly once, in order, intact.
   /// On mismatch returns false and fills `why`.

@@ -251,7 +251,7 @@ TEST_F(Deployment, TraceRecordsSpawnFailoverMigrationInOrder) {
   transport::SrudpEndpoint tx(*world.host("node1"), 7501);
   transport::SrudpEndpoint rx(*world.host("fs1"), 7502);
   int delivered = 0;
-  rx.set_handler([&](const Address&, Bytes) { ++delivered; });
+  rx.set_handler([&](const Address&, Payload) { ++delivered; });
   for (int i = 0; i < 40; ++i) tx.send(rx.address(), Bytes(32'768, 0x5a));
   world.engine().run_for(duration::milliseconds(10));
   world.host("fs1")->nic_on("site1")->set_up(false);

@@ -178,7 +178,8 @@ TEST(JsonParserSelfTest, AcceptsAndRejects) {
   EXPECT_TRUE(p.parse());
   EXPECT_EQ(p.cats, std::set<std::string>{"t"});
   for (const char* bad : {"{", "[1,]", "{\"a\":}", "12garbage", "\"unterminated"}) {
-    JsonParser q{*new std::string(bad)};  // leak is fine in a test
+    std::string owned(bad);  // JsonParser holds a reference, not a copy
+    JsonParser q{owned};
     EXPECT_FALSE(q.parse()) << bad;
   }
 }
@@ -268,20 +269,23 @@ TEST(Metrics, SourcesAggregateAcrossInstancesAndRetainOnDeath) {
       if (m.name == name) return &m;
     return nullptr;
   };
-  auto* live = find(reg.snapshot(), "comp.events");
+  Snapshot snap = reg.snapshot();  // keep alive while `find` results are read
+  auto* live = find(snap, "comp.events");
   ASSERT_NE(live, nullptr);
   EXPECT_DOUBLE_EQ(live->value, 12.0);  // both instances summed
 
   // Killing one instance folds its final value into the retained total.
   group_a.reset();
   b += 1;
-  auto* after = find(reg.snapshot(), "comp.events");
+  snap = reg.snapshot();
+  auto* after = find(snap, "comp.events");
   ASSERT_NE(after, nullptr);
   EXPECT_DOUBLE_EQ(after->value, 13.0);  // 7 retained + 6 live
 
   // reset() clears the retained totals but not live sources.
   reg.reset();
-  auto* cleared = find(reg.snapshot(), "comp.events");
+  snap = reg.snapshot();
+  auto* cleared = find(snap, "comp.events");
   ASSERT_NE(cleared, nullptr);
   EXPECT_DOUBLE_EQ(cleared->value, 6.0);
 }
@@ -441,7 +445,7 @@ TEST(Trace, SimulatedRunExportsMultiCategoryChromeTrace) {
   // route switch to the LAN ("transport" instants + a failover span).
   transport::SrudpEndpoint tx(*world.host("a"), 7001), rx(*world.host("b"), 7002);
   int delivered = 0;
-  rx.set_handler([&](const simnet::Address&, Bytes) { ++delivered; });
+  rx.set_handler([&](const simnet::Address&, Payload) { ++delivered; });
   for (int n = 0; n < 50; ++n) tx.send(rx.address(), Bytes(32'768, 0x5a));
   world.engine().run_for(duration::milliseconds(10));
   world.host("b")->nic_on("atm")->set_up(false);

@@ -63,7 +63,7 @@ TEST_P(SrudpProperty, ExactlyOnceInOrderIntact) {
   transport::SrudpEndpoint tx(a, 7001), rx(b, 7002);
 
   std::vector<Bytes> received;
-  rx.set_handler([&](const simnet::Address&, Bytes m) { received.push_back(std::move(m)); });
+  rx.set_handler([&](const simnet::Address&, Payload m) { received.push_back(m.to_bytes()); });
 
   Rng sizes(c.media * 7919u + c.loss_pm);
   std::vector<Bytes> sent;
@@ -109,7 +109,7 @@ TEST_P(StreamProperty, ByteStreamIntactInOrder) {
   std::shared_ptr<transport::StreamConnection> server_conn;
   server.listen([&](std::shared_ptr<transport::StreamConnection> conn) {
     server_conn = conn;
-    conn->set_message_handler([&](Bytes m) { received.push_back(std::move(m)); });
+    conn->set_message_handler([&](Payload m) { received.push_back(m.to_bytes()); });
   });
   auto conn = client.connect(server.address());
 
@@ -270,7 +270,7 @@ std::vector<Bytes> valid_encodings(std::uint32_t seed) {
   data.payload = some_bytes(600);
   data.total_len = static_cast<std::uint32_t>(data.payload.size()) * data.frag_count;
   if (data.frag_count > 1 && data.total_len == 0) data.total_len = 1;
-  out.push_back(encode_data(7001, data));
+  out.push_back(encode_data(7001, data).to_bytes());
 
   StatusPacket status;
   status.msg_id = rng.next_below(1u << 30);
@@ -278,10 +278,10 @@ std::vector<Bytes> valid_encodings(std::uint32_t seed) {
   status.bitmap = make_bitmap(status.frag_count);
   for (std::uint32_t i = 0; i < status.frag_count; ++i)
     if (rng.chance(0.5)) bitmap_set(status.bitmap, i);
-  out.push_back(encode_status(7002, status));
+  out.push_back(encode_status(7002, status).to_bytes());
 
-  out.push_back(encode_msg_id(PacketType::msg_ack, 7003, {rng.next_below(1u << 30)}));
-  out.push_back(encode_msg_id(PacketType::probe, 7004, {rng.next_below(1u << 30)}));
+  out.push_back(encode_msg_id(PacketType::msg_ack, 7003, {rng.next_below(1u << 30)}).to_bytes());
+  out.push_back(encode_msg_id(PacketType::probe, 7004, {rng.next_below(1u << 30)}).to_bytes());
 
   for (PacketType t : {PacketType::syn, PacketType::syn_ack, PacketType::ack,
                        PacketType::seg, PacketType::fin, PacketType::rst}) {
@@ -291,7 +291,7 @@ std::vector<Bytes> valid_encodings(std::uint32_t seed) {
     s.ack = rng.next_below(1u << 20);
     s.window = static_cast<std::uint32_t>(rng.next_below(1u << 16));
     if (t == PacketType::seg) s.payload = some_bytes(400);
-    out.push_back(encode_stream(t, 8001, s));
+    out.push_back(encode_stream(t, 8001, s).to_bytes());
   }
 
   McastDataPacket md;
@@ -302,14 +302,14 @@ std::vector<Bytes> valid_encodings(std::uint32_t seed) {
   md.payload = some_bytes(300);
   md.total_len = static_cast<std::uint32_t>(md.payload.size()) * md.frag_count;
   if (md.frag_count > 1 && md.total_len == 0) md.total_len = 1;
-  out.push_back(encode_mcast_data(9001, md));
+  out.push_back(encode_mcast_data(9001, md).to_bytes());
 
   McastNackPacket nack;
   nack.group = "grp";
   nack.msg_id = rng.next_below(1u << 30);
   for (std::uint64_t i = 0, n = rng.next_below(10) + 1; i < n; ++i)
     nack.missing.push_back(static_cast<std::uint32_t>(rng.next_below(64)));
-  out.push_back(encode_mcast_nack(9002, nack));
+  out.push_back(encode_mcast_nack(9002, nack).to_bytes());
   return out;
 }
 

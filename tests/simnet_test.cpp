@@ -2,6 +2,8 @@
 // route selection (§5.3), failure injection, loss, and broadcast.
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "obs/trace.hpp"
@@ -129,6 +131,92 @@ TEST(Engine, RunHonoursEventBudget) {
   for (int i = 0; i < 10; ++i) engine.schedule(i, [&] { ++count; });
   EXPECT_EQ(engine.run(3), 3u);
   EXPECT_EQ(count, 3);
+}
+
+TEST(Engine, CancelFromInsideARunningEvent) {
+  // The retransmit-ack pattern: the event that fires cancels a sibling
+  // scheduled for the same tick and its own (already-fired) id.
+  Engine engine;
+  bool sibling_fired = false;
+  TimerId self, sibling;
+  self = engine.schedule(duration::seconds(1), [&] {
+    engine.cancel(sibling);  // pending sibling: destroyed, never fires
+    engine.cancel(self);     // own id already fired: no-op
+  });
+  sibling = engine.schedule(duration::seconds(1), [&] { sibling_fired = true; });
+  engine.run();
+  EXPECT_FALSE(sibling_fired);
+  EXPECT_EQ(engine.events_run(), 1u);
+}
+
+TEST(Engine, CancelAfterFireIsANoOpEvenWhenSlotIsReused) {
+  Engine engine;
+  bool first = false, second = false;
+  TimerId id = engine.schedule(duration::seconds(1), [&] { first = true; });
+  engine.run();
+  EXPECT_TRUE(first);
+  // The new event recycles the fired event's slot; the stale id carries the
+  // old generation and must not be able to cancel the newcomer.
+  TimerId fresh = engine.schedule(duration::seconds(1), [&] { second = true; });
+  EXPECT_EQ(fresh.slot, id.slot);
+  engine.cancel(id);
+  engine.run();
+  EXPECT_TRUE(second);
+}
+
+TEST(Engine, TenThousandEqualTimeEventsFireInScheduleOrder) {
+  Engine engine;
+  const int kEvents = 10'000;
+  std::vector<int> order;
+  order.reserve(kEvents);
+  for (int i = 0; i < kEvents; ++i)
+    engine.schedule(duration::seconds(1), [&order, i] { order.push_back(i); });
+  engine.run();
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(kEvents));
+  for (int i = 0; i < kEvents; ++i) ASSERT_EQ(order[i], i);
+  EXPECT_EQ(engine.now(), duration::seconds(1));
+}
+
+TEST(Engine, RunTerminatesWhenOnlyWeakEventsRemain) {
+  // A self-rescheduling weak tick (the housekeeping pattern) must not keep
+  // run() spinning once the last strong event has fired.
+  Engine engine;
+  int ticks = 0, strong = 0;
+  std::function<void()> tick = [&] {
+    ++ticks;
+    engine.schedule_weak(duration::seconds(1), tick);
+  };
+  engine.schedule_weak(duration::seconds(1), tick);
+  engine.schedule(duration::milliseconds(1500), [&] { ++strong; });
+  engine.run();
+  EXPECT_EQ(strong, 1);
+  // The weak tick at t=1s ran (it preceded the strong event); the one it
+  // re-armed for t=2s must not.
+  EXPECT_EQ(ticks, 1);
+  EXPECT_EQ(engine.now(), duration::milliseconds(1500));
+}
+
+TEST(Engine, ClearReleasesEventOwnedResources) {
+  Engine engine;
+  auto resource = std::make_shared<int>(7);
+  std::weak_ptr<int> watch = resource;
+  engine.schedule(duration::seconds(5), [keep = std::move(resource)] { (void)*keep; });
+  EXPECT_FALSE(watch.expired());
+  engine.clear();
+  EXPECT_TRUE(watch.expired());  // destroyed without running
+  EXPECT_EQ(engine.run(), 0u);
+}
+
+TEST(Engine, CancelWithPreClearTimerIdIsSafeAfterClear) {
+  Engine engine;
+  TimerId stale = engine.schedule(duration::seconds(1), [] {});
+  engine.clear();
+  bool fired = false;
+  // Post-clear event may land in the same slot; the stale id must not hit it.
+  engine.schedule(duration::seconds(1), [&] { fired = true; });
+  engine.cancel(stale);
+  engine.run();
+  EXPECT_TRUE(fired);
 }
 
 TEST(Media, SerializeTimeScalesWithSize) {

@@ -6,6 +6,7 @@
 #include <map>
 #include <vector>
 
+#include "simnet/fault.hpp"
 #include "transport/ethmcast.hpp"
 #include "transport/message.hpp"
 #include "transport/multipath.hpp"
@@ -43,6 +44,31 @@ TEST(Wire, DataRoundTrip) {
   EXPECT_EQ(q.frag_count, 9u);
   EXPECT_EQ(q.total_len, 12345u);
   EXPECT_EQ(q.payload, p.payload);
+}
+
+TEST(Wire, DataChecksumRoundTripAndDetectsCorruption) {
+  DataPacket p{77, 3, 9, 12345, pattern_bytes(100)};
+  auto wire = encode_data(4242, p, /*with_checksum=*/true);
+  EXPECT_EQ(decode_head(wire).value().type, PacketType::data_ck);
+  auto q = decode_data(wire).value();
+  EXPECT_TRUE(q.has_checksum);
+  EXPECT_TRUE(q.checksum_ok);
+  EXPECT_EQ(q.payload, p.payload);
+
+  // Flip one payload byte: the packet still decodes (the caller decides
+  // whether to drop), but the mismatch is flagged.
+  Bytes mangled = wire.to_bytes();
+  mangled.back() ^= 0x01;
+  auto bad = decode_data(Payload(std::move(mangled))).value();
+  EXPECT_TRUE(bad.has_checksum);
+  EXPECT_FALSE(bad.checksum_ok);
+}
+
+TEST(Wire, PlainDataCarriesNoChecksum) {
+  DataPacket p{1, 0, 1, 4, pattern_bytes(4)};
+  auto q = decode_data(encode_data(1, p)).value();
+  EXPECT_FALSE(q.has_checksum);
+  EXPECT_TRUE(q.checksum_ok);  // vacuously: nothing to verify
 }
 
 TEST(Wire, DataRejectsBadIndices) {
@@ -148,8 +174,8 @@ struct SrudpPair {
     world.attach(hb, *world.network("net"));
     a = std::make_unique<SrudpEndpoint>(ha, 7001, cfg);
     b = std::make_unique<SrudpEndpoint>(hb, 7002, cfg);
-    b->set_handler([this](const Address& src, Bytes msg) {
-      received.emplace_back(src, std::move(msg));
+    b->set_handler([this](const Address& src, Payload msg) {
+      received.emplace_back(src, msg.to_bytes());
     });
   }
   World world;
@@ -223,6 +249,63 @@ TEST(Srudp, SurvivesHeavyLoss) {
   EXPECT_EQ(p.b->stats().messages_skipped, 0u);
 }
 
+TEST(Srudp, ChecksumRejectsCorruptFragmentsYetDeliveryConverges) {
+  SrudpConfig cfg;
+  cfg.checksum = true;
+  SrudpPair p(1234, simnet::ethernet100(), cfg);
+  simnet::FaultProfile prof;
+  prof.corrupt = 0.05;
+  prof.corrupt_max_bytes = 8;
+  simnet::FaultPlan plan(p.world, 4321);
+  plan.inject("net", prof);
+
+  Bytes big = pattern_bytes(400'000);
+  p.a->send(p.b->address(), big);
+  p.world.engine().run();
+
+  // Corrupt fragments were caught and dropped, the sender's RTO resent
+  // them, and the message still arrived byte-identical.
+  ASSERT_EQ(p.received.size(), 1u);
+  EXPECT_EQ(p.received[0].second, big);
+  EXPECT_GT(p.b->stats().checksum_rejects.v, 0u);
+  EXPECT_GT(p.a->stats().fragments_retransmitted.v, 0u);
+  EXPECT_EQ(p.a->stats().messages_expired.v, 0u);
+}
+
+TEST(Srudp, ChecksummingReceiverAcceptsPlainData) {
+  // One side upgraded, the other not: a checksumming receiver must still
+  // accept legacy DATA fragments (the feature is per-sender opt-in).
+  World world(77);
+  world.create_network("net", simnet::ethernet100());
+  auto& ha = world.create_host("a");
+  auto& hb = world.create_host("b");
+  world.attach(ha, *world.network("net"));
+  world.attach(hb, *world.network("net"));
+  SrudpConfig plain;
+  SrudpConfig checked;
+  checked.checksum = true;
+  SrudpEndpoint a(ha, 7001, plain);
+  SrudpEndpoint b(hb, 7002, checked);
+  std::vector<Bytes> got;
+  b.set_handler([&](const Address&, Payload msg) { got.push_back(msg.to_bytes()); });
+
+  Bytes msg = pattern_bytes(50'000);
+  a.send(b.address(), msg);
+  world.engine().run();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], msg);
+  EXPECT_EQ(b.stats().checksum_rejects.v, 0u);
+}
+
+TEST(Srudp, ChecksumIsOffByDefault) {
+  EXPECT_FALSE(SrudpConfig{}.checksum);
+  SrudpPair p;
+  p.a->send(p.b->address(), pattern_bytes(10'000));
+  p.world.engine().run();
+  ASSERT_EQ(p.received.size(), 1u);
+  EXPECT_EQ(p.b->stats().checksum_rejects.v, 0u);
+}
+
 TEST(Srudp, ExactlyOnceUnderLossAndDuplicates) {
   SrudpPair p(7);
   p.world.network("net")->set_extra_loss(0.3);
@@ -283,11 +366,11 @@ TEST(Srudp, HeadOfLineGapSkippedAfterSenderGivesUp) {
 
 TEST(Srudp, BidirectionalEcho) {
   SrudpPair p;
-  p.b->set_handler([&](const Address& src, Bytes msg) {
+  p.b->set_handler([&](const Address& src, Payload msg) {
     p.b->send(src, msg);  // echo
   });
   std::vector<Bytes> echoes;
-  p.a->set_handler([&](const Address&, Bytes msg) { echoes.push_back(std::move(msg)); });
+  p.a->set_handler([&](const Address&, Payload msg) { echoes.push_back(msg.to_bytes()); });
   for (int i = 0; i < 10; ++i) p.a->send(p.b->address(), pattern_bytes(3000, i));
   p.world.engine().run();
   ASSERT_EQ(echoes.size(), 10u);
@@ -308,7 +391,7 @@ TEST(Srudp, FailsOverToSecondNetworkWhenLinkDies) {
   }
   SrudpEndpoint a(ha, 7001), b(hb, 7002);
   std::vector<Bytes> got;
-  b.set_handler([&](const Address&, Bytes msg) { got.push_back(std::move(msg)); });
+  b.set_handler([&](const Address&, Payload msg) { got.push_back(msg.to_bytes()); });
 
   Bytes big = pattern_bytes(2 << 20);
   a.send(b.address(), big);
@@ -341,7 +424,7 @@ TEST(Srudp, MtuRespectedPerNetwork) {
   }
   SrudpEndpoint a(ha, 7001), b(hb, 7002);
   int count = 0;
-  b.set_handler([&](const Address&, Bytes) { ++count; });
+  b.set_handler([&](const Address&, Payload) { ++count; });
   a.send(b.address(), pattern_bytes(100'000));
   world.engine().run();
   EXPECT_EQ(count, 1);
@@ -372,8 +455,8 @@ TEST(Srudp, InterleavedPeersDoNotInterfere) {
   for (auto* h : {&ha, &hb, &hc}) world.attach(*h, *world.network("net"));
   SrudpEndpoint a(ha, 7001), b(hb, 7002), c(hc, 7003);
   std::vector<Bytes> from_a_at_b, from_c_at_b;
-  b.set_handler([&](const Address& src, Bytes msg) {
-    (src.host == "a" ? from_a_at_b : from_c_at_b).push_back(std::move(msg));
+  b.set_handler([&](const Address& src, Payload msg) {
+    (src.host == "a" ? from_a_at_b : from_c_at_b).push_back(msg.to_bytes());
   });
   for (int i = 0; i < 20; ++i) {
     a.send(b.address(), pattern_bytes(2000, 100 + i));
@@ -431,7 +514,7 @@ TEST(Srudp, TinyMtuInterfaceDoesNotWreckFragmentation) {
   }
   SrudpEndpoint a(ha, 7001), b(hb, 7002);
   std::vector<Bytes> received;
-  b.set_handler([&](const Address&, Bytes m) { received.push_back(std::move(m)); });
+  b.set_handler([&](const Address&, Payload m) { received.push_back(m.to_bytes()); });
   Bytes msg = pattern_bytes(1000);
   a.send(b.address(), msg);
   world.engine().run();
@@ -490,7 +573,7 @@ struct StreamPair {
     server_ep = std::make_unique<StreamEndpoint>(hb, 8002);
     server_ep->listen([this](std::shared_ptr<StreamConnection> conn) {
       server_conn = conn;
-      conn->set_message_handler([this](Bytes msg) { received.push_back(std::move(msg)); });
+      conn->set_message_handler([this](Payload msg) { received.push_back(msg.to_bytes()); });
     });
   }
   World world;
@@ -534,7 +617,7 @@ TEST(Stream, ServerCanSendBack) {
   StreamPair p;
   auto conn = p.client_ep->connect(p.server_ep->address());
   std::vector<Bytes> client_got;
-  conn->set_message_handler([&](Bytes m) { client_got.push_back(std::move(m)); });
+  conn->set_message_handler([&](Payload m) { client_got.push_back(m.to_bytes()); });
   p.world.engine().run();
   ASSERT_NE(p.server_conn, nullptr);
   p.server_conn->send_message(to_bytes("pong"));
@@ -590,7 +673,7 @@ TEST(EthMcast, AllMembersReceive) {
     auto& h = world.create_host(name);
     world.attach(h, *world.network("seg"));
     auto ep = std::make_unique<EthMcastEndpoint>(h, "seg", "grp", 9000);
-    ep->set_handler([&got, name](const Address&, Bytes m) { got[name].push_back(std::move(m)); });
+    ep->set_handler([&got, name](const Address&, Payload m) { got[name].push_back(m.to_bytes()); });
     members.push_back(std::move(ep));
   }
   Bytes msg = pattern_bytes(50'000);
@@ -616,7 +699,7 @@ TEST(EthMcast, NackRepairsLoss) {
     auto& h = world.create_host(name);
     world.attach(h, *world.network("seg"));
     auto ep = std::make_unique<EthMcastEndpoint>(h, "seg", "grp", 9000);
-    ep->set_handler([&](const Address&, Bytes) { ++delivered; });
+    ep->set_handler([&](const Address&, Payload) { ++delivered; });
     members.push_back(std::move(ep));
   }
   members[0]->send(pattern_bytes(100'000));
@@ -640,7 +723,7 @@ TEST(EthMcast, RejectsFragmentsDisagreeingWithFirstSeenMetadata) {
   world.attach(good, *world.network("seg"));
   EthMcastEndpoint receiver(good, "seg", "grp", 9000);
   std::vector<Bytes> got;
-  receiver.set_handler([&](const Address&, Bytes m) { got.push_back(std::move(m)); });
+  receiver.set_handler([&](const Address&, Payload m) { got.push_back(m.to_bytes()); });
 
   auto raw = [&](const McastDataPacket& p) {
     simnet::SendOptions opts;

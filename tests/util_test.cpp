@@ -3,6 +3,7 @@
 
 #include "util/bytes.hpp"
 #include "util/log.hpp"
+#include "util/payload.hpp"
 #include "util/result.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
@@ -260,6 +261,156 @@ TEST(Time, DurationsCompose) {
   EXPECT_DOUBLE_EQ(to_seconds(duration::milliseconds(250)), 0.25);
   EXPECT_EQ(from_seconds(0.25), duration::milliseconds(250));
   EXPECT_EQ(format_time(duration::milliseconds(1500)), "1.500000s");
+}
+
+TEST(Payload, SliceSharesTheBufferWithoutCopying) {
+  Bytes b(1000);
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] = static_cast<std::uint8_t>(i);
+  Payload whole(std::move(b));
+  ASSERT_EQ(whole.segment_count(), 1u);
+  const std::uint8_t* base = whole.segment(0).data();
+
+  Payload mid = whole.slice(100, 300);
+  EXPECT_EQ(mid.size(), 300u);
+  ASSERT_TRUE(mid.contiguous());
+  // The slice points into the original buffer — no bytes moved.
+  EXPECT_EQ(mid.data(), base + 100);
+  EXPECT_EQ(mid[0], static_cast<std::uint8_t>(100));
+  EXPECT_EQ(mid[299], static_cast<std::uint8_t>(399 & 0xFF));
+
+  Payload empty = whole.slice(1000, 0);
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.segment_count(), 0u);
+}
+
+TEST(Payload, AppendCoalescesAdjacentSlicesOfOneBuffer) {
+  Bytes b(256);
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] = static_cast<std::uint8_t>(i);
+  Payload whole(std::move(b));
+
+  // Reassemble the message from its fragments, as a receiver would.
+  Payload assembled;
+  for (std::size_t off = 0; off < 256; off += 64) assembled.append(whole.slice(off, 64));
+
+  // Adjacent slices of one buffer coalesce back into a single segment, so
+  // flatten() on the delivery path is a no-op (no copy).
+  EXPECT_EQ(assembled.size(), 256u);
+  ASSERT_EQ(assembled.segment_count(), 1u);
+  EXPECT_EQ(assembled.data(), whole.data());
+  assembled.flatten();
+  EXPECT_EQ(assembled.data(), whole.data());
+}
+
+TEST(Payload, FlattenCopiesOnlyWhenSegmentsCannotCoalesce) {
+  Payload a(Bytes{1, 2, 3});
+  Payload b(Bytes{4, 5, 6});
+  Payload joined;
+  joined.append(a);
+  joined.append(b);
+  EXPECT_EQ(joined.segment_count(), 2u);
+  EXPECT_FALSE(joined.contiguous());
+
+  joined.flatten();
+  ASSERT_TRUE(joined.contiguous());
+  EXPECT_EQ(joined.to_bytes(), (Bytes{1, 2, 3, 4, 5, 6}));
+  // Flattening materialized a fresh buffer; the sources are untouched.
+  EXPECT_NE(joined.data(), a.data());
+  EXPECT_EQ(a.to_bytes(), (Bytes{1, 2, 3}));
+}
+
+TEST(Payload, CowXorClonesWhenSharedAndWritesInPlaceWhenUnique) {
+  Payload original(Bytes{10, 20, 30, 40});
+  Payload copy = original.slice(0, 4);  // shares the buffer
+  EXPECT_EQ(copy.data(), original.data());
+
+  // Shared buffer: corruption must clone, leaving the original pristine.
+  copy.cow_xor(1, 0xFF);
+  EXPECT_NE(copy.data(), original.data());
+  EXPECT_EQ(copy[1], static_cast<std::uint8_t>(20 ^ 0xFF));
+  EXPECT_EQ(original[1], 20);
+
+  // `copy` now holds its buffer's only reference: a second corruption may
+  // write in place (no further clone).
+  const std::uint8_t* before = copy.data();
+  copy.cow_xor(2, 0x0F);
+  EXPECT_EQ(copy.data(), before);
+  EXPECT_EQ(copy[2], static_cast<std::uint8_t>(30 ^ 0x0F));
+}
+
+TEST(Payload, WriterMatchesByteWriterByteForByte) {
+  // The zero-copy wire codec must produce exactly the bytes the old
+  // copying codec did — this is what keeps chaos trace digests stable.
+  ByteWriter bw;
+  bw.u8(7);
+  bw.u16(0xBEEF);
+  bw.u32(0xDEADBEEF);
+  bw.u64(0x0123456789ABCDEFULL);
+  bw.str("snipe");
+  Bytes body{9, 8, 7, 6};
+  bw.blob(body);
+
+  PayloadWriter pw;
+  pw.u8(7);
+  pw.u16(0xBEEF);
+  pw.u32(0xDEADBEEF);
+  pw.u64(0x0123456789ABCDEFULL);
+  pw.str("snipe");
+  pw.blob(Payload(Bytes{9, 8, 7, 6}));  // spliced by reference, not copied
+
+  Payload p = std::move(pw).take();
+  EXPECT_EQ(p.to_bytes(), bw.bytes());
+}
+
+TEST(Payload, CursorRoundTripsAndSlicesBlobsZeroCopy) {
+  Bytes big(512);
+  for (std::size_t i = 0; i < big.size(); ++i) big[i] = static_cast<std::uint8_t>(i * 3);
+  Payload blob_src(std::move(big));
+  const std::uint8_t* blob_base = blob_src.data();
+
+  PayloadWriter pw;
+  pw.u32(42);
+  pw.str("hello");
+  pw.blob(blob_src);
+  pw.u16(0xCAFE);
+  Payload wire = std::move(pw).take();
+
+  PayloadCursor r(wire);
+  ASSERT_TRUE(r.u32().ok());
+  auto s = r.str();
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s.value(), "hello");
+  auto blob = r.blob();
+  ASSERT_TRUE(blob.ok());
+  EXPECT_EQ(blob.value().size(), 512u);
+  // The blob read is a view into the spliced-in source buffer.
+  ASSERT_TRUE(blob.value().contiguous());
+  EXPECT_EQ(blob.value().data(), blob_base);
+  auto tail = r.u16();
+  ASSERT_TRUE(tail.ok());
+  EXPECT_EQ(tail.value(), 0xCAFE);
+  EXPECT_EQ(r.remaining(), 0u);
+
+  // Short reads fail cleanly instead of running off the end.
+  EXPECT_FALSE(r.u8().ok());
+}
+
+TEST(Payload, CursorReadsFieldsStraddlingSegmentBoundaries) {
+  // Build a payload whose u32 spans two segments (2 bytes in each).
+  Payload left(Bytes{0xAA, 0xBB, 0x01, 0x02});
+  Payload right(Bytes{0x03, 0x04, 0xCC});
+  Payload joined;
+  joined.append(left);
+  joined.append(right);
+  ASSERT_EQ(joined.segment_count(), 2u);
+
+  PayloadCursor r(joined);
+  ASSERT_TRUE(r.u16().ok());
+  auto v = r.u32();
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 0x01020304u);
+  auto last = r.u8();
+  ASSERT_TRUE(last.ok());
+  EXPECT_EQ(last.value(), 0xCC);
 }
 
 }  // namespace
