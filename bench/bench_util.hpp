@@ -32,10 +32,26 @@ inline bool metrics_enabled() {
   return enabled;
 }
 
+/// SNIPE_BENCH_FLOW=1 additionally records causal flow events.  Off by
+/// default: flow ids are minted and carried on the wire regardless (the
+/// replay contract), so this knob toggles only the per-fragment event
+/// recording — the runtime overhead DESIGN.md quantifies with
+/// bench_datapath run both ways.
+inline bool flow_enabled() {
+  static const bool enabled = [] {
+    const char* env = std::getenv("SNIPE_BENCH_FLOW");
+    bool on = env != nullptr && std::string(env) != "0" && std::string(env) != "off";
+    obs::Tracer::global().set_flow_enabled(on);
+    return on;
+  }();
+  return enabled;
+}
+
 /// Clears global metric/trace state so one bench case cannot pollute the
 /// next (cases run back-to-back in one process).
 inline void reset_metrics() {
   metrics_enabled();
+  flow_enabled();
   obs::MetricsRegistry::global().reset();
   obs::Tracer::global().clear();
 }

@@ -1,22 +1,89 @@
 #!/usr/bin/env bash
-# Builds the Release tree and runs the data-plane benchmarks, writing
-# google-benchmark JSON next to the repo root as BENCH_<name>.json so
-# before/after runs can be diffed (tools/compare.py from google-benchmark
-# works on these files directly).
+# Builds the Release tree, runs the data-plane benchmarks, and diffs the
+# fresh numbers against the committed baseline in bench/baseline/ instead
+# of silently overwriting anything.  Fresh google-benchmark JSON lands at
+# the repo root as BENCH_<name>.json (gitignored scratch); the baseline is
+# versioned, so the diff shows what *this* checkout changed.
 #
-# Usage: scripts/bench.sh [build-dir]    (default: build)
+# Usage: scripts/bench.sh [build-dir]      (default: build)
+#        scripts/bench.sh --bless [dir]    re-run and promote the fresh
+#                                          numbers to bench/baseline/
+#
+# Wall-clock counters are machine-dependent: compare runs from the same
+# box, and re-bless the baseline when switching machines.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+BLESS=0
+if [ "${1:-}" = "--bless" ]; then
+  BLESS=1
+  shift
+fi
 BUILD_DIR="${1:-build}"
+BASELINE_DIR="bench/baseline"
+BENCHES="bench_datapath bench_fig1_bandwidth"
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build "$BUILD_DIR" -j --target bench_datapath bench_fig1_bandwidth
+cmake --build "$BUILD_DIR" -j --target $BENCHES
 
-for name in bench_datapath bench_fig1_bandwidth; do
+for name in $BENCHES; do
   echo "==== $name ===="
   "$BUILD_DIR/bench/$name" --benchmark_out="BENCH_${name}.json" \
     --benchmark_out_format=json
 done
 
-echo "Wrote BENCH_bench_datapath.json and BENCH_bench_fig1_bandwidth.json"
+if [ "$BLESS" = 1 ]; then
+  mkdir -p "$BASELINE_DIR"
+  for name in $BENCHES; do
+    cp "BENCH_${name}.json" "$BASELINE_DIR/${name}.json"
+  done
+  echo "Blessed: copied fresh results into $BASELINE_DIR/ (commit them)."
+  exit 0
+fi
+
+for name in $BENCHES; do
+  baseline="$BASELINE_DIR/${name}.json"
+  if [ ! -f "$baseline" ]; then
+    echo "No baseline for $name ($baseline missing) — run scripts/bench.sh --bless"
+    continue
+  fi
+  echo "==== $name vs baseline ===="
+  python3 - "$baseline" "BENCH_${name}.json" <<'EOF'
+import json, sys
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for b in doc.get("benchmarks", []):
+        # Keep the headline counters; skip embedded m: metrics to keep the
+        # diff readable (they live in the JSON for deeper digs).
+        row = {k: v for k, v in b.items()
+               if isinstance(v, (int, float)) and not k.startswith(("m:",))
+               and k not in ("family_index", "per_family_instance_index",
+                             "repetitions", "repetition_index", "threads",
+                             "iterations")}
+        out[b["name"]] = row
+    return out
+
+base, fresh = load(sys.argv[1]), load(sys.argv[2])
+for name in fresh:
+    if name not in base:
+        print(f"  {name}: new benchmark (no baseline)")
+        continue
+    deltas = []
+    for key, new in fresh[name].items():
+        old = base[name].get(key)
+        if old is None or old == 0:
+            continue
+        pct = (new - old) / old * 100
+        if abs(pct) >= 2:  # hide noise-level movement
+            deltas.append(f"{key} {old:.3g} -> {new:.3g} ({pct:+.1f}%)")
+    status = "; ".join(deltas) if deltas else "within 2% of baseline"
+    print(f"  {name}: {status}")
+for name in base:
+    if name not in fresh:
+        print(f"  {name}: removed (present only in baseline)")
+EOF
+done

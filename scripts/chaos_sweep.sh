@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Sweeps the chaos suite across N seeds, failing on the first invariant
+# trip.  Each seed reruns every scenario in tests/chaos_test.cpp with
+# SNIPE_CHAOS_SEED set, so a sweep is N independent adversarial runs; on a
+# failure the suite's gtest listener prints the flight-recorder dump (the
+# fault and protocol events leading up to the trip) and the failing seed is
+# echoed for local reproduction.
+#
+# Usage: scripts/chaos_sweep.sh [N] [build-dir]     (defaults: 10, build)
+# Env:   SNIPE_CHAOS_BASE_SEED    first seed of the sweep (default 20260807)
+#
+# Registered as the ctest test "chaos_sweep" (label "sweep") when CMake is
+# configured with -DSNIPE_CHAOS_SWEEP=ON; it is off by default so the
+# tier-1 suite's runtime stays flat.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+N="${1:-10}"
+BUILD_DIR="${2:-build}"
+BIN="$BUILD_DIR/tests/chaos_test"
+
+if [ ! -x "$BIN" ]; then
+  echo "chaos_sweep: $BIN not built (cmake --build $BUILD_DIR --target chaos_test)" >&2
+  exit 2
+fi
+
+BASE="${SNIPE_CHAOS_BASE_SEED:-20260807}"
+for i in $(seq 0 $((N - 1))); do
+  seed=$((BASE + i * 1000003))
+  echo "==== chaos sweep: seed $seed ($((i + 1))/$N) ===="
+  if ! SNIPE_CHAOS_SEED=$seed "$BIN" --gtest_brief=1; then
+    echo "chaos_sweep: invariant tripped at seed $seed (flight-recorder dump above)" >&2
+    echo "reproduce with: SNIPE_CHAOS_SEED=$seed $BIN" >&2
+    exit 1
+  fi
+done
+echo "chaos_sweep: $N seeds clean"

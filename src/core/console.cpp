@@ -1,11 +1,121 @@
 #include "core/console.hpp"
 
+#include <cstdio>
+#include <map>
 #include <sstream>
+#include <string_view>
 
-#include "obs/metrics.hpp"
+#include "obs/flight.hpp"
 #include "util/strings.hpp"
+#include "util/time.hpp"
 
 namespace snipe::core {
+
+namespace {
+
+/// Keeps only the lines of `text` starting with `prefix` (the "metrics
+/// srudp." filter, shared by the console verb and the /metrics endpoint).
+std::string filter_lines(const std::string& text, const std::string& prefix) {
+  if (prefix.empty()) return text;
+  std::istringstream lines(text);
+  std::string filtered, l;
+  while (std::getline(lines, l))
+    if (l.rfind(prefix, 0) == 0) filtered += l + "\n";
+  return filtered;
+}
+
+std::string format_ms(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+/// Ratio of two counters by name, or -1 when the denominator is absent or
+/// zero (nothing sent means no meaningful ratio, not a perfect one).
+double counter_ratio(const obs::Snapshot& snapshot, const std::string& num,
+                     const std::string& den) {
+  double n = 0, d = 0;
+  for (const auto& m : snapshot) {
+    if (m.name == num) n = m.value;
+    if (m.name == den) d = m.value;
+  }
+  return d > 0 ? n / d : -1;
+}
+
+}  // namespace
+
+std::string health_report(const obs::Snapshot& snapshot) {
+  std::string out;
+  // Delivery latency: every transport publishes a "<transport>.delivery_ms"
+  // histogram, so the rollup discovers transports instead of listing them.
+  for (const auto& m : snapshot) {
+    if (m.kind != obs::MetricValue::Kind::histogram) continue;
+    constexpr std::string_view suffix = ".delivery_ms";
+    if (m.name.size() <= suffix.size() ||
+        m.name.compare(m.name.size() - suffix.size(), suffix.size(), suffix) != 0)
+      continue;
+    std::string transport = m.name.substr(0, m.name.size() - suffix.size());
+    out += transport + " delivery_ms p50=" + format_ms(m.p50) +
+           " p95=" + format_ms(m.p95) + " p99=" + format_ms(m.p99) +
+           " n=" + std::to_string(m.count) + "\n";
+  }
+  double srudp_retx = counter_ratio(snapshot, "srudp.fragments_retransmitted",
+                                    "srudp.fragments_sent");
+  if (srudp_retx >= 0)
+    out += "srudp retransmit_ratio " + format_ms(srudp_retx) + "\n";
+  double stream_retx = counter_ratio(snapshot, "stream.segments_retransmitted",
+                                     "stream.segments_sent");
+  if (stream_retx >= 0)
+    out += "stream retransmit_ratio " + format_ms(stream_retx) + "\n";
+  for (const auto& m : snapshot)
+    if (m.name == "multipath.route_switches")
+      out += "route_failovers " + std::to_string(static_cast<std::uint64_t>(m.value)) +
+             "\n";
+  return out.empty() ? "(no health data)" : out;
+}
+
+std::string trace_report(const std::vector<obs::TraceEvent>& events,
+                         const std::string& query) {
+  // The operator may paste a flow id ("0x9f3...", decimal) or a message id
+  // from a log line; a message id resolves through any event carrying a
+  // matching "msg" argument.
+  std::uint64_t id = 0;
+  try {
+    id = std::stoull(query, nullptr, query.rfind("0x", 0) == 0 ? 16 : 10);
+  } catch (...) {
+    id = 0;
+  }
+  bool direct = false;
+  for (const auto& e : events)
+    if (e.id != 0 && e.id == id) {
+      direct = true;
+      break;
+    }
+  if (!direct) {
+    id = 0;
+    for (const auto& e : events) {
+      if (e.id == 0) continue;
+      for (const auto& [k, v] : e.args)
+        if (k == "msg" && v == query) {
+          id = e.id;
+          break;
+        }
+      if (id != 0) break;
+    }
+  }
+  if (id == 0) return "(no flow events for " + query + ")";
+
+  char idbuf[32];
+  std::snprintf(idbuf, sizeof(idbuf), "0x%llx", static_cast<unsigned long long>(id));
+  std::string out = "flow " + std::string(idbuf) + ":\n";
+  for (const auto& e : events) {
+    if (e.id != id) continue;
+    out += "  " + format_time(e.ts) + " " + e.name;
+    for (const auto& [k, v] : e.args) out += " " + k + "=" + v;
+    out += "\n";
+  }
+  return out;
+}
 
 void Console::interpret(const std::string& line, std::function<void(std::string)> reply) {
   std::istringstream parts(trim(line));
@@ -63,20 +173,25 @@ void Console::interpret(const std::string& line, std::function<void(std::string)
   if (verb == "metrics") {
     // Operator scrape of the whole simulation's registry (optionally
     // filtered by prefix: "metrics srudp.").
-    std::string out = obs::MetricsRegistry::global().format_text();
-    if (!arg.empty()) {
-      std::istringstream lines(out);
-      std::string filtered, l;
-      while (std::getline(lines, l))
-        if (l.rfind(arg, 0) == 0) filtered += l + "\n";
-      out = std::move(filtered);
-    }
+    std::string out = filter_lines(obs::MetricsRegistry::global().format_text(), arg);
     reply(out.empty() ? "(no metrics recorded)" : out);
+    return;
+  }
+  if (verb == "trace" && !arg.empty()) {
+    reply(trace_report(obs::Tracer::global().events(), arg));
+    return;
+  }
+  if (verb == "flight") {
+    reply(obs::FlightRecorder::global().dump(arg));
+    return;
+  }
+  if (verb == "health") {
+    reply(health_report(obs::MetricsRegistry::global().snapshot()));
     return;
   }
   reply(
       "usage: ps <host-url> | state <urn> | meta <uri> | where <urn> | routers <group> | "
-      "metrics [prefix]");
+      "metrics [prefix] | trace <id> | flight [host] | health");
 }
 
 Bytes HttpRequest::encode() const {
@@ -201,6 +316,77 @@ void HttpGateway::forward(const std::string& urn, const Bytes& wire, int attempt
         },
         duration::seconds(2));
   });
+}
+
+std::string to_http_text(const HttpResponse& response) {
+  const char* reason = response.status == 200   ? "OK"
+                       : response.status == 400 ? "Bad Request"
+                       : response.status == 404 ? "Not Found"
+                                                : "Error";
+  std::string out = "HTTP/1.0 " + std::to_string(response.status) + " " + reason +
+                    "\r\nContent-Type: text/plain\r\nContent-Length: " +
+                    std::to_string(response.body.size()) + "\r\n\r\n";
+  out.append(response.body.begin(), response.body.end());
+  return out;
+}
+
+namespace {
+
+/// Splits "/metrics?prefix=srudp." into the path and its query parameters.
+/// No percent-decoding: every value the endpoints accept (metric prefixes,
+/// host names, flow ids) is plain text already.
+std::pair<std::string, std::map<std::string, std::string>> parse_target(
+    const std::string& target) {
+  auto qpos = target.find('?');
+  std::string path = target.substr(0, qpos);
+  std::map<std::string, std::string> params;
+  if (qpos != std::string::npos) {
+    std::istringstream query(target.substr(qpos + 1));
+    std::string pair;
+    while (std::getline(query, pair, '&')) {
+      auto eq = pair.find('=');
+      if (eq == std::string::npos)
+        params[pair] = "";
+      else
+        params[pair.substr(0, eq)] = pair.substr(eq + 1);
+    }
+  }
+  return {std::move(path), std::move(params)};
+}
+
+HttpResponse text_response(int status, const std::string& text) {
+  HttpResponse res;
+  res.status = status;
+  res.body = to_bytes(text);
+  return res;
+}
+
+}  // namespace
+
+OpsGateway::OpsGateway(SnipeProcess& process, std::string service_uri)
+    : server_(process, std::move(service_uri),
+              [this](const HttpRequest& request) { return handle(request); }) {}
+
+HttpResponse OpsGateway::handle(const HttpRequest& request) const {
+  if (request.method != "GET")
+    return text_response(400, "only GET is supported\n");
+  auto [path, params] = parse_target(request.path);
+  if (path == "/metrics") {
+    std::string out =
+        filter_lines(obs::MetricsRegistry::global().format_text(), params["prefix"]);
+    return text_response(200, out.empty() ? "(no metrics recorded)\n" : out);
+  }
+  if (path == "/health")
+    return text_response(200, health_report(obs::MetricsRegistry::global().snapshot()));
+  if (path == "/flight")
+    return text_response(200, obs::FlightRecorder::global().dump(params["host"]) + "\n");
+  if (path == "/trace") {
+    auto it = params.find("id");
+    if (it == params.end() || it->second.empty())
+      return text_response(400, "usage: /trace?id=<flow-or-msg-id>\n");
+    return text_response(200, trace_report(obs::Tracer::global().events(), it->second));
+  }
+  return text_response(404, "not found: " + path + "\n");
 }
 
 }  // namespace snipe::core

@@ -16,8 +16,24 @@
 #pragma once
 
 #include "core/process.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace snipe::core {
+
+/// Health/SLO rollup computed from a metrics snapshot: per-transport
+/// delivery latency quantiles (every "*.delivery_ms" histogram), retransmit
+/// ratios, and the route-failover count.  A free function over the snapshot
+/// so tests can feed it synthetic registries, including an empty one.
+std::string health_report(const obs::Snapshot& snapshot);
+
+/// The flow-event trail for one causal trace.  `query` is a flow id (hex
+/// "0x..." or decimal) or a message id: when no flow matches the id
+/// directly, events whose "msg" argument equals `query` donate their flow
+/// id.  A free function over the event list for the same testability
+/// reason as health_report.
+std::string trace_report(const std::vector<obs::TraceEvent>& events,
+                         const std::string& query);
 
 /// A human-facing SNIPE process: metadata queries + commands.
 ///
@@ -31,6 +47,10 @@ namespace snipe::core {
 ///   meta <uri>             full metadata record, one assertion per line
 ///   where <urn>            the host a process currently runs on
 ///   routers <group-urn>    a multicast group's router set
+///   metrics [prefix]       scrape the global registry, optionally filtered
+///   trace <id>             flow-event trail of one message (flow or msg id)
+///   flight [host]          recent flight-recorder events, optionally per host
+///   health                 delivery-latency / retransmit / failover rollup
 class Console {
  public:
   explicit Console(SnipeProcess& process) : process_(process) {}
@@ -135,6 +155,34 @@ class HttpGateway {
                std::function<void(Result<HttpResponse>)> done);
 
   SnipeProcess& process_;
+};
+
+/// Renders an HttpResponse as HTTP/1.0 wire text — the form a real browser
+/// or `curl -0` would see if the gateway were bridged to a socket.
+std::string to_http_text(const HttpResponse& response);
+
+/// The ops console served over SNIPE's own HTTP machinery: an ordinary
+/// SNIPE process that registers a service URI and exports observability
+/// data as plain text.  Because it is a normal HttpServer, requests reach
+/// it through the HttpGateway and keep working after it migrates.
+///
+///   GET /metrics[?prefix=srudp.]   registry scrape, optionally filtered
+///   GET /health                    health_report() over a live snapshot
+///   GET /flight[?host=a]           flight-recorder dump, optionally per host
+///   GET /trace?id=<flow-or-msg>    trace_report() for one causal flow
+class OpsGateway {
+ public:
+  OpsGateway(SnipeProcess& process, std::string service_uri);
+
+  /// The request dispatcher, public so tests can drive it without a
+  /// simulated browser in the loop.
+  HttpResponse handle(const HttpRequest& request) const;
+
+  const std::string& service_uri() const { return server_.service_uri(); }
+  std::uint64_t requests_served() const { return server_.requests_served(); }
+
+ private:
+  HttpServer server_;
 };
 
 }  // namespace snipe::core

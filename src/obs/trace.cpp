@@ -55,6 +55,14 @@ void append_event_json(std::string& out, const TraceEvent& e, int tid) {
     out += buf;
   }
   if (e.phase == TraceEvent::Phase::instant) out += ",\"s\":\"t\"";
+  if (e.id != 0) {
+    // Flow binding id; hex keeps 64 bits exact (JSON numbers would not).
+    std::snprintf(buf, sizeof(buf), ",\"id\":\"0x%llx\"",
+                  static_cast<unsigned long long>(e.id));
+    out += buf;
+  }
+  // Bind flow arrows to the enclosing slice at both ends.
+  if (e.phase == TraceEvent::Phase::flow_end) out += ",\"bp\":\"e\"";
   if (!e.args.empty()) {
     out += ",\"args\":{";
     bool first = true;
@@ -146,6 +154,21 @@ void Tracer::instant(std::string cat, std::string name, Args args) {
   e.cat = std::move(cat);
   e.name = std::move(name);
   e.ts = clock_ ? clock_() : wall_now();
+  e.args = std::move(args);
+  push(std::move(e));
+}
+
+void Tracer::flow(TraceEvent::Phase phase, std::string cat, std::string name,
+                  std::uint64_t id, Args args) {
+  if (!flow_enabled_.load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_) return;
+  TraceEvent e;
+  e.phase = phase;
+  e.cat = std::move(cat);
+  e.name = std::move(name);
+  e.ts = clock_ ? clock_() : wall_now();
+  e.id = id;
   e.args = std::move(args);
   push(std::move(e));
 }

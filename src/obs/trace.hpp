@@ -11,6 +11,7 @@
 // exported trace.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -25,12 +26,16 @@ struct TraceEvent {
   enum class Phase : char {
     complete = 'X',  ///< span with start + duration
     instant = 'i',
+    flow_start = 's',  ///< first hop of a cross-host causal flow
+    flow_step = 't',   ///< intermediate hop (tx, retransmit, rx, ...)
+    flow_end = 'f',    ///< final delivery hop
   };
   Phase phase = Phase::instant;
   std::string cat;
   std::string name;
   std::int64_t ts = 0;   ///< nanoseconds (virtual or wall)
   std::int64_t dur = 0;  ///< nanoseconds, complete events only
+  std::uint64_t id = 0;  ///< flow binding id (flow_* phases), 0 = none
   std::vector<std::pair<std::string, std::string>> args;
 };
 
@@ -53,6 +58,16 @@ class Tracer {
   void set_enabled(bool enabled);
   bool enabled() const;
 
+  /// Flow recording is a separate, off-by-default switch: the trace context
+  /// is always minted and carried on the wire (so enabling it cannot change
+  /// packet bytes or virtual timestamps — the replay contract), but the
+  /// per-fragment flow events are only recorded when this is on.  The check
+  /// is one relaxed atomic load, cheap enough for the per-fragment path.
+  void set_flow_enabled(bool enabled) {
+    flow_enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool flow_enabled() const { return flow_enabled_.load(std::memory_order_relaxed); }
+
   /// Installs the time source (nullptr restores the wall clock).
   void set_clock(std::function<std::int64_t()> clock);
   /// Current trace time: installed clock, else nanoseconds of wall time
@@ -67,6 +82,12 @@ class Tracer {
 
   /// Records a zero-duration event.
   void instant(std::string cat, std::string name, Args args = {});
+
+  /// Records one hop of a causal flow (Chrome phases 's'/'t'/'f', bound by
+  /// `id`).  No-op unless both enabled() and flow_enabled(); call sites on
+  /// hot paths should check flow_enabled() before building args.
+  void flow(TraceEvent::Phase phase, std::string cat, std::string name, std::uint64_t id,
+            Args args = {});
 
   /// Starts a span; `end_span` records it as a complete event stamped with
   /// the begin time and the elapsed duration.  Spans may cross async
@@ -100,6 +121,7 @@ class Tracer {
 
   mutable std::mutex mu_;
   bool enabled_ = true;
+  std::atomic<bool> flow_enabled_{false};
   std::function<std::int64_t()> clock_;
   std::vector<TraceEvent> ring_;
   std::size_t capacity_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/flight.hpp"
 #include "obs/trace.hpp"
 
 namespace snipe::rcds {
@@ -220,6 +221,9 @@ void RcServer::anti_entropy_tick() {
   if (peers_.empty()) return;
   ++stats_.anti_entropy_rounds;
   const simnet::Address peer = peers_[next_sync_peer_++ % peers_.size()];
+  obs::FlightRecorder::global().record(
+      rpc_.host().name(), "rcds", "anti_entropy",
+      "peer=" + peer.to_string() + " uris=" + std::to_string(store_.size()));
 
   ByteWriter w;
   w.u32(static_cast<std::uint32_t>(store_.size()));

@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "obs/flight.hpp"
 #include "obs/trace.hpp"
 #include "util/uri.hpp"
 
@@ -198,8 +199,12 @@ void ResourceManager::poll_hosts() {
     ++stats_.polls;
     // Score the previous round first.
     if (!info.pong_seen && ++info.missed_polls >= config_.dead_after_misses) {
-      if (info.alive)
+      if (info.alive) {
         obs::Tracer::global().instant("rm", "rm.host_dead", {{"host", name}});
+        obs::FlightRecorder::global().record(
+            rpc_.address().host, "rm", "host_dead",
+            "host=" + name + " misses=" + std::to_string(info.missed_polls));
+      }
       info.alive = false;
     }
     info.pong_seen = false;
@@ -323,6 +328,9 @@ void ResourceManager::handle_allocate(const simnet::Address& from, const Bytes& 
   info.load += 1.0 / std::max(1, info.cpus);  // optimistic until next poll
   // Spawn latency span: decision made -> daemon's reply in hand.
   obs::SpanId span = obs::Tracer::global().begin_span("rm", "rm.spawn");
+  obs::FlightRecorder::global().record(rpc_.address().host, "rm", "spawn",
+                                       "target=" + host.value() +
+                                           " program=" + forwarded.program);
   SimTime spawn_start = engine_.now();
   auto completion = [respond, this, span, spawn_start,
                      target = host.value()](Result<Bytes> r) {

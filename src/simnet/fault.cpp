@@ -4,6 +4,7 @@
 #include <functional>
 #include <utility>
 
+#include "obs/flight.hpp"
 #include "obs/trace.hpp"
 #include "simnet/world.hpp"
 #include "util/log.hpp"
@@ -132,6 +133,14 @@ void FaultPlan::act(SimTime at, std::string name,
   world_.engine().schedule_at(
       at, [name = std::move(name), args = std::move(args), fn = std::move(fn)] {
         obs::Tracer::global().instant("fault", name, args);
+        // Mirror every injected fault into the flight recorder so a dump
+        // taken when an invariant trips shows what the chaos plan just did.
+        std::string detail;
+        for (const auto& [k, v] : args) {
+          if (!detail.empty()) detail += " ";
+          detail += k + "=" + v;
+        }
+        obs::FlightRecorder::global().record({}, "fault", name, detail);
         fn();
       });
 }

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/flight.hpp"
+#include "obs/trace.hpp"
+
 namespace snipe::transport {
 
 EthMcastEndpoint::EthMcastEndpoint(simnet::Host& host, const std::string& network,
@@ -19,9 +22,11 @@ EthMcastEndpoint::EthMcastEndpoint(simnet::Host& host, const std::string& networ
   // Leave room for the group name in the header; clamp before subtracting
   // so a tiny MTU cannot wrap the budget to a huge value.
   std::size_t mtu = nic->network()->model().mtu;
-  std::size_t header = kDataHeaderBytes + 8 + group.size();
+  // mdata = DATA header fields + born stamp (8) + length-prefixed group.
+  std::size_t header = kDataHeaderBytes + 8 + 4 + group.size();
   frag_payload_ = std::max<std::size_t>(1, mtu - std::min(mtu, header));
   host_.bind(port_, [this](const simnet::Packet& p) { on_packet(p); }).value();
+  delivery_ms_ = &obs::MetricsRegistry::global().histogram("ethmcast.delivery_ms");
   metrics_sources_.add("ethmcast.messages_sent", [this] { return stats_.messages_sent.v; });
   metrics_sources_.add("ethmcast.messages_delivered",
                        [this] { return stats_.messages_delivered.v; });
@@ -45,7 +50,18 @@ void EthMcastEndpoint::send(Payload message) {
                                                    frag_payload_);
   msg.data = std::move(message);
   std::uint64_t msg_id = next_msg_id_++;
-  for (std::uint32_t i = 0; i < msg.frag_count; ++i) broadcast_fragment(msg, msg_id, i);
+  // The group plays the peer-host role in the mint: a multicast flow has
+  // one sender and many receivers, all sharing the same id.
+  msg.flow = mint_flow(host_.name(), port_, group_, port_, msg_id);
+  msg.born = engine_.now();
+  auto& tracer = obs::Tracer::global();
+  if (tracer.flow_enabled())
+    tracer.flow(obs::TraceEvent::Phase::flow_start, "flow", "ethmcast.send", msg.flow,
+                {{"group", group_},
+                 {"msg", std::to_string(msg_id)},
+                 {"bytes", std::to_string(msg.data.size())}});
+  for (std::uint32_t i = 0; i < msg.frag_count; ++i)
+    broadcast_fragment(msg, msg_id, i, /*repair=*/false);
   ++stats_.messages_sent;
   sent_[msg_id] = std::move(msg);
   // Hold the buffer long enough for repair requests, then let it go.
@@ -53,17 +69,24 @@ void EthMcastEndpoint::send(Payload message) {
 }
 
 void EthMcastEndpoint::broadcast_fragment(const OutMessage& msg, std::uint64_t msg_id,
-                                          std::uint32_t index) {
+                                          std::uint32_t index, bool repair) {
   McastDataPacket p;
   p.group = group_;
   p.msg_id = msg_id;
   p.frag_index = index;
   p.frag_count = msg.frag_count;
   p.total_len = static_cast<std::uint32_t>(msg.data.size());
+  p.flow = msg.flow;
+  p.born = msg.born;
   std::size_t begin = static_cast<std::size_t>(index) * msg.frag_size;
   std::size_t end = std::min(msg.data.size(), begin + msg.frag_size);
   if (begin < end) p.payload = msg.data.slice(begin, end - begin);
   ++stats_.fragments_broadcast;
+  auto& tracer = obs::Tracer::global();
+  if (tracer.flow_enabled())
+    tracer.flow(obs::TraceEvent::Phase::flow_step, "flow",
+                repair ? "ethmcast.repair" : "ethmcast.tx", msg.flow,
+                {{"frag", std::to_string(index)}});
   auto r = host_.broadcast(network_, port_, encode_mcast_data(port_, p), port_);
   if (!r) log_.trace("broadcast failed: ", r.error().to_string());
 }
@@ -77,9 +100,13 @@ void EthMcastEndpoint::on_packet(const simnet::Packet& packet) {
     if (!p || p.value().group != group_) return;
     auto it = sent_.find(p.value().msg_id);
     if (it == sent_.end()) return;  // repair window closed
+    obs::FlightRecorder::global().record(
+        host_.name(), "ethmcast", "repair",
+        "group=" + group_ + " msg=" + std::to_string(p.value().msg_id) +
+            " missing=" + std::to_string(p.value().missing.size()));
     for (std::uint32_t index : p.value().missing) {
       if (index >= it->second.frag_count) continue;
-      broadcast_fragment(it->second, p.value().msg_id, index);
+      broadcast_fragment(it->second, p.value().msg_id, index, /*repair=*/true);
       ++stats_.repairs_sent;
     }
     return;
@@ -101,6 +128,8 @@ void EthMcastEndpoint::on_packet(const simnet::Packet& packet) {
   if (inserted) {
     msg.frag_count = p.frag_count;
     msg.total_len = p.total_len;
+    msg.flow = p.flow;
+    msg.born = p.born;
     msg.frags.resize(p.frag_count);
     msg.have = make_bitmap(p.frag_count);
   } else if (msg.frag_count != p.frag_count || msg.total_len != p.total_len) {
@@ -121,6 +150,11 @@ void EthMcastEndpoint::on_packet(const simnet::Packet& packet) {
     Payload assembled;
     for (auto& frag : msg.frags) assembled.append(std::move(frag));
     assembled.flatten();  // no-op when the fragments coalesced
+    auto& tracer = obs::Tracer::global();
+    if (tracer.flow_enabled())
+      tracer.flow(obs::TraceEvent::Phase::flow_end, "flow", "ethmcast.deliver", msg.flow,
+                  {{"host", host_.name()}, {"bytes", std::to_string(assembled.size())}});
+    delivery_ms_->observe(static_cast<double>(engine_.now() - msg.born) / 1e6);
     engine_.cancel(msg.nack_timer);
     in_.erase(it);
     auto& up_to = delivered_up_to_[sender.host];
@@ -159,6 +193,15 @@ void EthMcastEndpoint::schedule_nack(const simnet::Address& sender, std::uint64_
       if (!bitmap_get(msg.have, i)) nack.missing.push_back(i);
     if (nack.missing.empty()) return;
     ++stats_.nacks_sent;
+    auto& tracer = obs::Tracer::global();
+    if (tracer.flow_enabled())
+      tracer.flow(obs::TraceEvent::Phase::flow_step, "flow", "ethmcast.nack", msg.flow,
+                  {{"host", host_.name()},
+                   {"missing", std::to_string(nack.missing.size())}});
+    obs::FlightRecorder::global().record(
+        host_.name(), "ethmcast", "nack",
+        "group=" + group_ + " msg=" + std::to_string(msg_id) +
+            " missing=" + std::to_string(nack.missing.size()));
     simnet::SendOptions opts;
     opts.src_port = port_;
     opts.preferred_network = network_;

@@ -61,6 +61,8 @@ class EthMcastEndpoint {
     Payload data;  ///< the whole message; fragments are slices of it
     std::uint32_t frag_count = 0;
     std::size_t frag_size = 0;
+    std::uint64_t flow = 0;  ///< trace context carried by every fragment
+    SimTime born = 0;        ///< send time, carried on the wire for latency
   };
   struct InMessage {
     std::vector<Payload> frags;  ///< slices of the sender's buffer
@@ -68,11 +70,14 @@ class EthMcastEndpoint {
     std::uint32_t have_count = 0;
     std::uint32_t frag_count = 0;
     std::uint32_t total_len = 0;
+    std::uint64_t flow = 0;
+    SimTime born = 0;
     simnet::TimerId nack_timer;
   };
 
   void on_packet(const simnet::Packet& packet);
-  void broadcast_fragment(const OutMessage& msg, std::uint64_t msg_id, std::uint32_t index);
+  void broadcast_fragment(const OutMessage& msg, std::uint64_t msg_id, std::uint32_t index,
+                          bool repair);
   void schedule_nack(const simnet::Address& sender, std::uint64_t msg_id, SimDuration delay);
 
   simnet::Host& host_;
@@ -88,6 +93,9 @@ class EthMcastEndpoint {
   std::map<std::pair<std::string, std::uint64_t>, InMessage> in_;  ///< by (sender, id)
   std::map<std::string, std::uint64_t> delivered_up_to_;
   EthMcastStats stats_;
+  /// Global "ethmcast.delivery_ms": wire `born` stamp to reassembly on the
+  /// receiver (valid because the simulation clock is shared).
+  obs::Histogram* delivery_ms_;
   Logger log_;
   /// Declared after stats_ so retirement reads live cells.
   obs::SourceGroup metrics_sources_;

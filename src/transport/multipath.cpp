@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 
 namespace snipe::transport {
@@ -53,6 +54,8 @@ bool MultipathPolicy::on_timeout(simnet::Host& host) {
   preferred_ = next;
   ++switches_;
   obs::MetricsRegistry::global().counter("multipath.route_switches").inc();
+  obs::FlightRecorder::global().record(host.name(), "multipath", "route_switch",
+                                       "to=" + preferred_);
   return true;
 }
 

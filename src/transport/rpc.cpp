@@ -1,5 +1,7 @@
 #include "transport/rpc.hpp"
 
+#include "obs/trace.hpp"
+
 namespace snipe::transport {
 
 RpcEndpoint::RpcEndpoint(simnet::Host& host, std::uint16_t port, RpcConfig config)
@@ -42,7 +44,14 @@ void RpcEndpoint::call(const simnet::Address& dst, std::uint32_t tag, Bytes body
     handler(Error{Errc::timeout, "rpc tag " + std::to_string(tag) + " to " + dst.to_string()});
   });
   pending_[id] = PendingCall{std::move(done), timer};
-  srudp_.send(dst, std::move(w).take());
+  std::uint64_t msg_id = srudp_.send(dst, std::move(w).take());
+  // Link the rpc layer into the request message's transport flow: the flow
+  // id is deterministic, so recomputing it here matches what srudp minted.
+  auto& tracer = obs::Tracer::global();
+  if (tracer.flow_enabled())
+    tracer.flow(obs::TraceEvent::Phase::flow_step, "flow", "rpc.call",
+                mint_flow(srudp_.address().host, srudp_.port(), dst.host, dst.port, msg_id),
+                {{"tag", std::to_string(tag)}, {"id", std::to_string(id)}});
 }
 
 void RpcEndpoint::notify(const simnet::Address& dst, std::uint32_t tag, Bytes body) {
@@ -89,6 +98,15 @@ void RpcEndpoint::on_message(const simnet::Address& src, Payload msg) {
     return;
   }
   Kind kind = static_cast<Kind>(kind_raw.value());
+
+  // We are inside srudp's delivery handler, so the transport exposes the
+  // flow id of the message being delivered — link rpc dispatch into it.
+  auto& tracer = obs::Tracer::global();
+  if (tracer.flow_enabled() && srudp_.last_delivered_flow() != 0)
+    tracer.flow(obs::TraceEvent::Phase::flow_step, "flow",
+                kind == Kind::request || kind == Kind::oneway ? "rpc.serve" : "rpc.complete",
+                srudp_.last_delivered_flow(),
+                {{"tag", std::to_string(tag.value())}, {"id", std::to_string(id.value())}});
 
   if (kind == Kind::request || kind == Kind::oneway) {
     auto auth = r.blob();

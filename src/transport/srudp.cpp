@@ -29,6 +29,7 @@ SrudpEndpoint::SrudpEndpoint(simnet::Host& host, std::uint16_t port, SrudpConfig
 
   auto& registry = obs::MetricsRegistry::global();
   rtt_ms_ = &registry.histogram("srudp.rtt_ms");
+  delivery_ms_ = &registry.histogram("srudp.delivery_ms");
   metrics_sources_.add("srudp.messages_sent", [this] { return stats_.messages_sent.v; });
   metrics_sources_.add("srudp.messages_delivered",
                        [this] { return stats_.messages_delivered.v; });
@@ -65,6 +66,10 @@ std::uint64_t SrudpEndpoint::send(const simnet::Address& dst, Payload message) {
 
   OutMessage msg;
   msg.msg_id = out.next_msg_id++;
+  // Trace context: deterministic (no RNG draw) and carried by every
+  // fragment, so enabling flow recording cannot perturb the simulation.
+  msg.flow = mint_flow(host_.name(), port_, dst.host, dst.port, msg.msg_id);
+  msg.enqueued = engine_.now();
   msg.frag_size = frag_payload_;
   msg.frag_count = message.empty()
                        ? 1
@@ -74,6 +79,15 @@ std::uint64_t SrudpEndpoint::send(const simnet::Address& dst, Payload message) {
   msg.acked = make_bitmap(msg.frag_count);
   msg.deadline = engine_.now() + config_.msg_ttl;
   std::uint64_t msg_id = msg.msg_id;
+  auto& tracer = obs::Tracer::global();
+  if (tracer.flow_enabled()) {
+    tracer.flow(obs::TraceEvent::Phase::flow_start, "flow", "srudp.send", msg.flow,
+                {{"peer", dst.to_string()},
+                 {"msg", std::to_string(msg.msg_id)},
+                 {"bytes", std::to_string(msg.data.size())}});
+    tracer.flow(obs::TraceEvent::Phase::flow_step, "flow", "srudp.frag", msg.flow,
+                {{"frags", std::to_string(msg.frag_count)}});
+  }
   out.queue.push_back(std::move(msg));
   ++stats_.messages_sent;
   // pump() may expire the message just queued (a zero/tiny msg_ttl) or any
@@ -125,6 +139,7 @@ void SrudpEndpoint::send_fragment(const simnet::Address& peer, PeerOut& out, Out
   p.frag_index = index;
   p.frag_count = msg.frag_count;
   p.total_len = static_cast<std::uint32_t>(msg.data.size());
+  p.flow = msg.flow;
   std::size_t begin = static_cast<std::size_t>(index) * msg.frag_size;
   std::size_t end = std::min(msg.data.size(), begin + msg.frag_size);
   // A fragment is a *slice* of the message buffer, not a copy of it.
@@ -136,6 +151,13 @@ void SrudpEndpoint::send_fragment(const simnet::Address& peer, PeerOut& out, Out
     ++stats_.fragments_retransmitted;
   }
   ++stats_.fragments_sent;
+  auto& tracer = obs::Tracer::global();
+  if (tracer.flow_enabled()) {
+    const std::string& path = out.path.preferred();
+    tracer.flow(obs::TraceEvent::Phase::flow_step, "flow",
+                retransmission ? "srudp.retransmit" : "srudp.tx", msg.flow,
+                {{"frag", std::to_string(index)}, {"path", path.empty() ? "auto" : path}});
+  }
   ++out.inflight;
   raw_send(peer, &out, encode_data(port_, p, config_.checksum));
 }
@@ -166,6 +188,10 @@ void SrudpEndpoint::on_rto(const simnet::Address& peer) {
   if (out.queue.empty()) return;
 
   ++stats_.rto_events;
+  obs::FlightRecorder::global().record(
+      host_.name(), "srudp", "rto",
+      "peer=" + peer.to_string() + " rto=" + format_time(out.rto) +
+          " queued=" + std::to_string(out.queue.size()));
   // The window's worth of fragments we sent may all be gone; reset the
   // inflight estimate, re-probe, and let STATUS rebuild our picture.
   out.inflight = 0;
@@ -176,6 +202,14 @@ void SrudpEndpoint::on_rto(const simnet::Address& peer) {
       out.failover_span = tracer.begin_span("transport", "srudp.failover");
     tracer.instant("transport", "srudp.route_switch",
                    {{"peer", peer.to_string()}, {"to", out.path.preferred()}});
+    // The route choice is per-peer; attribute it to the head message's flow
+    // so the switch shows up inside the affected cross-host trace.
+    if (tracer.flow_enabled())
+      tracer.flow(obs::TraceEvent::Phase::flow_step, "flow", "srudp.route_switch",
+                  out.queue.front().flow, {{"to", out.path.preferred()}});
+    obs::FlightRecorder::global().record(
+        host_.name(), "srudp", "route_switch",
+        "peer=" + peer.to_string() + " to=" + out.path.preferred());
     log_.debug("route to ", peer.to_string(), " switched to ", out.path.preferred());
   }
   // Resend every sent-but-unacked fragment of every queued message (up to
@@ -203,6 +237,9 @@ void SrudpEndpoint::expire_head(const simnet::Address& peer, PeerOut& out) {
   obs::Tracer::global().instant(
       "transport", "srudp.expire",
       {{"peer", peer.to_string()}, {"msg", std::to_string(out.queue.front().msg_id)}});
+  obs::FlightRecorder::global().record(
+      host_.name(), "srudp", "expire",
+      "peer=" + peer.to_string() + " msg=" + std::to_string(out.queue.front().msg_id));
   out.queue.pop_front();
   out.inflight = 0;  // conservative: counted fragments belonged to the head
   ++stats_.messages_expired;
@@ -221,6 +258,9 @@ void SrudpEndpoint::on_packet(const simnet::Packet& packet) {
         // Corrupt payload caught by the opt-in checksum: drop the fragment;
         // selective re-send recovers it like any other loss.
         ++stats_.checksum_rejects;
+        obs::FlightRecorder::global().record(
+            host_.name(), "srudp", "checksum_reject",
+            "peer=" + peer.to_string() + " msg=" + std::to_string(p.value().msg_id));
         break;
       }
       on_data(peer, p.value());
@@ -266,6 +306,7 @@ void SrudpEndpoint::on_data(const simnet::Address& peer, const DataPacket& p) {
   if (inserted) {
     msg.frag_count = p.frag_count;
     msg.total_len = p.total_len;
+    msg.flow = p.flow;
     msg.frags.resize(p.frag_count);
     msg.have = make_bitmap(p.frag_count);
   } else if (msg.frag_count != p.frag_count || msg.total_len != p.total_len) {
@@ -273,6 +314,10 @@ void SrudpEndpoint::on_data(const simnet::Address& peer, const DataPacket& p) {
               peer.to_string());
     return;
   }
+  auto& tracer = obs::Tracer::global();
+  if (tracer.flow_enabled())
+    tracer.flow(obs::TraceEvent::Phase::flow_step, "flow", "srudp.rx", p.flow,
+                {{"frag", std::to_string(p.frag_index)}});
   if (bitmap_get(msg.have, p.frag_index)) {
     ++stats_.duplicate_fragments;
   } else {
@@ -289,14 +334,19 @@ void SrudpEndpoint::on_data(const simnet::Address& peer, const DataPacket& p) {
     // coalesces them into one segment and no bytes move at all.
     Payload assembled;
     for (auto& frag : msg.frags) assembled.append(std::move(frag));
+    std::uint64_t flow = msg.flow;
     engine_.cancel(msg.status_timer);
     in.partial.erase(it);
     if (assembled.size() != p.total_len) {
       log_.warn("reassembled length mismatch for msg ", p.msg_id);
       return;
     }
+    if (tracer.flow_enabled())
+      tracer.flow(obs::TraceEvent::Phase::flow_step, "flow", "srudp.reassemble", flow,
+                  {{"msg", std::to_string(p.msg_id)},
+                   {"bytes", std::to_string(assembled.size())}});
     raw_send(peer, nullptr, encode_msg_id(PacketType::msg_ack, port_, {p.msg_id}));
-    in.complete[p.msg_id] = std::move(assembled);
+    in.complete[p.msg_id] = CompleteMsg{std::move(assembled), flow};
     try_deliver(peer);
     return;
   }
@@ -379,15 +429,24 @@ void SrudpEndpoint::try_deliver(const simnet::Address& peer) {
   while (true) {
     auto it = in.complete.find(in.next_deliver);
     if (it == in.complete.end()) break;
-    Payload payload = std::move(it->second);
+    Payload payload = std::move(it->second.data);
+    std::uint64_t flow = it->second.flow;
     in.complete.erase(it);
+    auto& tracer = obs::Tracer::global();
+    if (tracer.flow_enabled())
+      tracer.flow(obs::TraceEvent::Phase::flow_end, "flow", "srudp.deliver", flow,
+                  {{"peer", peer.to_string()},
+                   {"msg", std::to_string(in.next_deliver)},
+                   {"bytes", std::to_string(payload.size())}});
     ++in.next_deliver;
     ++stats_.messages_delivered;
     stats_.bytes_delivered += payload.size();
     // Handlers are promised contiguous bytes; flatten() only copies when
     // coalescing failed (e.g. a corrupted fragment was cloned mid-message).
     payload.flatten();
+    last_delivered_flow_ = flow;
     if (handler_) handler_(peer, std::move(payload));
+    last_delivered_flow_ = 0;
   }
   if (!in.complete.empty()) {
     arm_hol_skip(peer);
@@ -409,6 +468,10 @@ void SrudpEndpoint::arm_hol_skip(const simnet::Address& peer) {
     // The sender evidently abandoned the gap message(s); skip forward.
     std::uint64_t first_complete = in.complete.begin()->first;
     stats_.messages_skipped += first_complete - in.next_deliver;
+    obs::FlightRecorder::global().record(
+        host_.name(), "srudp", "hol_skip",
+        "peer=" + peer.to_string() + " msgs=" + std::to_string(in.next_deliver) + ".." +
+            std::to_string(first_complete - 1));
     log_.warn("skipping undeliverable messages ", in.next_deliver, "..",
               first_complete - 1, " from ", peer.to_string());
     in.next_deliver = first_complete;
@@ -490,6 +553,11 @@ void SrudpEndpoint::on_msg_ack(const simnet::Address& peer, std::uint64_t msg_id
 
   for (auto qit = out.queue.begin(); qit != out.queue.end(); ++qit) {
     if (qit->msg_id != msg_id) continue;
+    // Sender-side delivery latency: send() to whole-message MSG_ACK.  This
+    // needs no extra wire bytes and, unlike the RTT sample, deliberately
+    // includes retransmitted messages — the health rollup's p99 should show
+    // what loss recovery costs.
+    delivery_ms_->observe(static_cast<double>(engine_.now() - qit->enqueued) / 1e6);
     // RTT sample per Karn's rule: only from never-retransmitted messages.
     if (!qit->retransmitted && qit->first_sent >= 0) {
       SimDuration sample = engine_.now() - qit->first_sent;

@@ -31,6 +31,7 @@
 #include <map>
 #include <optional>
 
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "simnet/world.hpp"
@@ -129,9 +130,17 @@ class SrudpEndpoint {
   const SrudpStats& stats() const { return stats_; }
   const SrudpConfig& config() const { return config_; }
 
+  /// Flow id of the message most recently handed to the delivery handler
+  /// (valid inside the handler call).  Layers above srudp — rpc notably —
+  /// use it to link their own trace steps into the message's flow without
+  /// any extra wire bytes.
+  std::uint64_t last_delivered_flow() const { return last_delivered_flow_; }
+
  private:
   struct OutMessage {
     std::uint64_t msg_id = 0;
+    std::uint64_t flow = 0;   ///< trace context carried by every fragment
+    SimTime enqueued = 0;     ///< send() time; delivery latency = ack - this
     Payload data;  ///< the whole message; fragments are slices of it
     std::uint32_t frag_count = 0;
     std::size_t frag_size = 0;
@@ -161,6 +170,7 @@ class SrudpEndpoint {
 
   struct InMessage {
     std::vector<Payload> frags;  ///< slices of the sender's buffer
+    std::uint64_t flow = 0;      ///< trace context from the fragments
     Bytes have;  ///< bitmap
     std::uint32_t have_count = 0;
     std::uint32_t frag_count = 0;
@@ -172,10 +182,17 @@ class SrudpEndpoint {
     SimTime last_status_sent = -1;
   };
 
+  /// A reassembled message waiting its turn in the in-order queue; the flow
+  /// id rides along so delivery can close the cross-host trace.
+  struct CompleteMsg {
+    Payload data;
+    std::uint64_t flow = 0;
+  };
+
   struct PeerIn {
     std::uint64_t next_deliver = 1;
     std::map<std::uint64_t, InMessage> partial;
-    std::map<std::uint64_t, Payload> complete;  ///< awaiting in-order delivery
+    std::map<std::uint64_t, CompleteMsg> complete;  ///< awaiting in-order delivery
     simnet::TimerId hol_timer;
     SimTime hol_since = -1;
   };
@@ -210,8 +227,12 @@ class SrudpEndpoint {
   MessageHandler handler_;
   std::map<simnet::Address, PeerOut> out_;
   std::map<simnet::Address, PeerIn> in_;
+  std::uint64_t last_delivered_flow_ = 0;
   SrudpStats stats_;
   obs::Histogram* rtt_ms_;  ///< global "srudp.rtt_ms" (Karn-filtered samples)
+  /// Global "srudp.delivery_ms": send() to MSG_ACK per message, the
+  /// sender-side delivery latency the console's health rollup reports.
+  obs::Histogram* delivery_ms_;
   Logger log_;
   /// Declared after stats_ so the sources unregister (and fold into the
   /// registry's retained totals) before the cells they read are destroyed.

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/flight.hpp"
+#include "obs/trace.hpp"
+
 namespace snipe::transport {
 
 // ---------- StreamEndpoint ----------
@@ -78,6 +81,18 @@ StreamConnection::StreamConnection(StreamEndpoint* endpoint, simnet::Address pee
   peer_window_ = cfg.rwnd;
   cwnd = static_cast<double>(cfg.initial_cwnd_segments) * static_cast<double>(mss());
   ssthresh = static_cast<double>(cfg.rwnd);
+
+  delivery_ms_ = &obs::MetricsRegistry::global().histogram("stream.delivery_ms");
+  metrics_sources_.add("stream.segments_sent", [this] { return stats_.segments_sent; });
+  metrics_sources_.add("stream.segments_retransmitted",
+                       [this] { return stats_.segments_retransmitted; });
+  metrics_sources_.add("stream.bytes_sent", [this] { return stats_.bytes_sent; });
+  metrics_sources_.add("stream.messages_delivered",
+                       [this] { return stats_.messages_delivered; });
+  metrics_sources_.add("stream.bytes_delivered", [this] { return stats_.bytes_delivered; });
+  metrics_sources_.add("stream.rto_events", [this] { return stats_.rto_events; });
+  metrics_sources_.add("stream.fast_retransmits",
+                       [this] { return stats_.fast_retransmits; });
 }
 
 std::size_t StreamConnection::mss() const {
@@ -103,12 +118,25 @@ void StreamConnection::send_control(PacketType type) {
 }
 
 void StreamConnection::send_message(Payload message) {
-  // Splice the 4-byte length prefix (pooled scratch) and the caller's
-  // message buffer into the send buffer without copying either.
+  // Trace context rides the reliable framing itself — [u32 len][u64 flow]
+  // [bytes] — so it crosses retransmissions and resegmentation exactly
+  // once, in order, and the receiver closes the flow at parse time.
+  std::uint64_t flow = mint_flow(endpoint_->host().name(), endpoint_->port(), peer_.host,
+                                 peer_.port, next_msg_seq_++);
+  auto& tracer = obs::Tracer::global();
+  if (tracer.flow_enabled())
+    tracer.flow(obs::TraceEvent::Phase::flow_start, "flow", "stream.send", flow,
+                {{"peer", peer_.to_string()},
+                 {"bytes", std::to_string(message.size())}});
+  // Splice the frame header (pooled scratch) and the caller's message
+  // buffer into the send buffer without copying either.
   PayloadWriter w;
   w.u32(static_cast<std::uint32_t>(message.size()));
+  w.u64(flow);
   w.append(message);
   send_buffer_.append(std::move(w).take());
+  msg_spans_.push_back(
+      MsgSpan{snd_una + send_buffer_.size(), flow, endpoint_->engine().now()});
   if (state_ == State::established) pump();
 }
 
@@ -145,6 +173,23 @@ void StreamConnection::send_segment(std::uint64_t seq, std::size_t len, bool ret
   }
   ++stats_.segments_sent;
   stats_.bytes_sent += len;
+  auto& tracer = obs::Tracer::global();
+  if (tracer.flow_enabled()) {
+    // Attribute the segment to the message containing its first byte:
+    // spans are ascending by end offset, so the first span ending past
+    // `seq` owns it.
+    std::uint64_t flow = 0;
+    for (const auto& span : msg_spans_) {
+      if (span.end > seq) {
+        flow = span.flow;
+        break;
+      }
+    }
+    if (flow != 0)
+      tracer.flow(obs::TraceEvent::Phase::flow_step, "flow",
+                  retransmission ? "stream.retransmit" : "stream.tx", flow,
+                  {{"seq", std::to_string(seq)}, {"len", std::to_string(len)}});
+  }
   endpoint_->raw_send(peer_, encode_stream(PacketType::seg, endpoint_->port(), p));
 }
 
@@ -166,6 +211,10 @@ void StreamConnection::on_rto() {
   }
   if (snd_una == snd_nxt) return;  // everything acked in the meantime
   ++stats_.rto_events;
+  obs::FlightRecorder::global().record(
+      endpoint_->host().name(), "stream", "rto",
+      "peer=" + peer_.to_string() + " una=" + std::to_string(snd_una) +
+          " nxt=" + std::to_string(snd_nxt));
   // Reno on timeout: collapse to one segment and retransmit the hole.
   ssthresh = std::max(cwnd / 2, 2.0 * static_cast<double>(mss()));
   cwnd = static_cast<double>(mss());
@@ -262,14 +311,21 @@ void StreamConnection::deliver_contiguous() {
 
 void StreamConnection::parse_messages() {
   while (true) {
-    if (receive_buffer_.size() < 4) return;
+    if (receive_buffer_.size() < kStreamFrameHeaderBytes) return;
     PayloadCursor r(receive_buffer_);
     std::uint32_t len = r.u32().value();
-    if (receive_buffer_.size() < 4u + len) return;
-    Payload message = receive_buffer_.slice(4, len);
-    receive_buffer_ = receive_buffer_.slice(4 + len, receive_buffer_.size() - 4 - len);
+    std::uint64_t flow = r.u64().value();
+    if (receive_buffer_.size() < kStreamFrameHeaderBytes + len) return;
+    Payload message = receive_buffer_.slice(kStreamFrameHeaderBytes, len);
+    receive_buffer_ =
+        receive_buffer_.slice(kStreamFrameHeaderBytes + len,
+                              receive_buffer_.size() - kStreamFrameHeaderBytes - len);
     ++stats_.messages_delivered;
     stats_.bytes_delivered += message.size();
+    auto& tracer = obs::Tracer::global();
+    if (tracer.flow_enabled())
+      tracer.flow(obs::TraceEvent::Phase::flow_end, "flow", "stream.deliver", flow,
+                  {{"peer", peer_.to_string()}, {"bytes", std::to_string(len)}});
     // Segments that were sliced from one original message buffer coalesced
     // back during reassembly, making this a no-op on the clean path.
     message.flatten();
@@ -288,6 +344,15 @@ void StreamConnection::on_ack(const StreamPacket& p) {
     snd_una = p.ack;
     if (snd_nxt < snd_una) snd_nxt = snd_una;
     dup_acks_ = 0;
+
+    // Messages whose whole frame is now acked are delivered as far as the
+    // sender can observe; record their latency and retire the spans.
+    while (!msg_spans_.empty() && msg_spans_.front().end <= snd_una) {
+      delivery_ms_->observe(
+          static_cast<double>(endpoint_->engine().now() - msg_spans_.front().enqueued) /
+          1e6);
+      msg_spans_.pop_front();
+    }
 
     // RTT sample (Karn-filtered).
     if (rtt_sent_at_ >= 0 && p.ack >= rtt_seq_) {
@@ -326,6 +391,9 @@ void StreamConnection::on_ack(const StreamPacket& p) {
   } else if (p.ack == snd_una && snd_una < snd_nxt) {
     if (++dup_acks_ == 3) {
       ++stats_.fast_retransmits;
+      obs::FlightRecorder::global().record(
+          endpoint_->host().name(), "stream", "fast_retransmit",
+          "peer=" + peer_.to_string() + " una=" + std::to_string(snd_una));
       ssthresh = std::max(cwnd / 2, 2.0 * static_cast<double>(mss()));
       cwnd = ssthresh;
       std::size_t len =

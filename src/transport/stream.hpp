@@ -12,10 +12,12 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 
+#include "obs/metrics.hpp"
 #include "simnet/world.hpp"
 #include "transport/wire.hpp"
 #include "util/log.hpp"
@@ -91,8 +93,19 @@ class StreamConnection {
   bool initiator_;
   State state_ = State::closed;
 
+  /// One queued message's byte range on the stream, for trace threading:
+  /// segments look up the flow of the message containing their first byte,
+  /// and the span retires (observing delivery latency) once fully acked.
+  struct MsgSpan {
+    std::uint64_t end = 0;  ///< absolute stream offset one past the frame
+    std::uint64_t flow = 0;
+    SimTime enqueued = 0;
+  };
+
   // --- send side ---
   Payload send_buffer_;  ///< bytes [snd_una, end); segments alias messages
+  std::deque<MsgSpan> msg_spans_;  ///< unacked messages, ascending by end
+  std::uint64_t next_msg_seq_ = 1;
   std::uint64_t snd_una = 0;
   std::uint64_t snd_nxt = 0;
   double cwnd = 0;
@@ -115,6 +128,12 @@ class StreamConnection {
   MessageHandler on_message_;
   ConnectHandler on_connect_;
   StreamStats stats_;
+  /// Global "stream.delivery_ms": send_message() to cumulative ack of the
+  /// whole frame (the stream's sender-side delivery latency).
+  obs::Histogram* delivery_ms_ = nullptr;
+  /// Declared after stats_ so the sources unregister (folding into the
+  /// registry's retained totals) before the fields they read are destroyed.
+  obs::SourceGroup metrics_sources_;
 };
 
 /// Owns the port and demultiplexes connections, like a socket table.

@@ -25,6 +25,21 @@ Result<PayloadCursor> open(const Payload& wire) {
 Error trailing_bytes() { return Error{Errc::corrupt, "trailing bytes"}; }
 }  // namespace
 
+std::uint64_t mint_flow(std::string_view src_host, std::uint16_t src_port,
+                        std::string_view dst_host, std::uint16_t dst_port,
+                        std::uint64_t msg_id) {
+  std::uint64_t h = 14695981039346656037ull;  // FNV-1a 64-bit offset basis
+  auto mix = [&h](std::uint64_t v, int bytes) {
+    for (int i = 0; i < bytes; ++i) h = (h ^ ((v >> (8 * i)) & 0xff)) * 1099511628211ull;
+  };
+  for (char c : src_host) mix(static_cast<unsigned char>(c), 1);
+  mix(src_port, 2);
+  for (char c : dst_host) mix(static_cast<unsigned char>(c), 1);
+  mix(dst_port, 2);
+  mix(msg_id, 8);
+  return h == 0 ? 1 : h;  // 0 means "untraced" on the wire
+}
+
 std::uint32_t payload_checksum(const Payload& p) {
   std::uint32_t h = 2166136261u;  // FNV-1a offset basis
   for (std::size_t i = 0; i < p.segment_count(); ++i) {
@@ -41,6 +56,7 @@ Payload encode_data(std::uint16_t src_port, const DataPacket& p, bool with_check
   w.u32(p.frag_index);
   w.u32(p.frag_count);
   w.u32(p.total_len);
+  w.u64(p.flow);
   if (with_checksum) w.u32(payload_checksum(p.payload));
   w.blob(p.payload);
   return std::move(w).take();
@@ -77,6 +93,8 @@ Payload encode_mcast_data(std::uint16_t src_port, const McastDataPacket& p) {
   w.u32(p.frag_index);
   w.u32(p.frag_count);
   w.u32(p.total_len);
+  w.u64(p.flow);
+  w.u64(static_cast<std::uint64_t>(p.born));
   w.blob(p.payload);
   return std::move(w).take();
 }
@@ -119,6 +137,9 @@ Result<DataPacket> decode_data(const Payload& wire) {
   auto total_len = r.u32();
   if (!total_len) return total_len.error();
   p.total_len = total_len.value();
+  auto flow = r.u64();
+  if (!flow) return flow.error();
+  p.flow = flow.value();
   std::uint32_t wire_sum = 0;
   if (p.has_checksum) {
     auto sum = r.u32();
@@ -211,6 +232,12 @@ Result<McastDataPacket> decode_mcast_data(const Payload& wire) {
   auto total_len = r.value().u32();
   if (!total_len) return total_len.error();
   p.total_len = total_len.value();
+  auto flow = r.value().u64();
+  if (!flow) return flow.error();
+  p.flow = flow.value();
+  auto born = r.value().u64();
+  if (!born) return born.error();
+  p.born = static_cast<std::int64_t>(born.value());
   auto payload = r.value().blob();
   if (!payload) return payload.error();
   p.payload = std::move(payload).take();

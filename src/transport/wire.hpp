@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 
 #include "util/bytes.hpp"
 #include "util/payload.hpp"
@@ -52,6 +53,7 @@ struct DataPacket {
   std::uint32_t frag_index = 0;
   std::uint32_t frag_count = 0;
   std::uint32_t total_len = 0;  ///< full message length, for sanity checks
+  std::uint64_t flow = 0;       ///< trace context (mint_flow); 0 = untraced
   Payload payload;
   bool has_checksum = false;    ///< wire type was data_ck
   bool checksum_ok = true;      ///< checksum verified (always true for data)
@@ -85,6 +87,10 @@ struct McastDataPacket {
   std::uint32_t frag_index = 0;
   std::uint32_t frag_count = 0;
   std::uint32_t total_len = 0;
+  std::uint64_t flow = 0;    ///< trace context (mint_flow); 0 = untraced
+  std::int64_t born = 0;     ///< sender's virtual send time (multicast has no
+                             ///< acks, so receivers compute delivery latency
+                             ///< from the shared virtual clock)
   Payload payload;
 };
 
@@ -103,12 +109,26 @@ struct McastNackPacket {
 constexpr std::uint32_t kMaxWireFragments = 1u << 20;
 
 /// Number of bytes the SRUDP DATA header occupies on the wire; used to
-/// compute fragment payload budgets from the MTU.
-constexpr std::size_t kDataHeaderBytes = 1 + 2 + 8 + 4 + 4 + 4 + 4;  // +4 blob len
+/// compute fragment payload budgets from the MTU.  The +8 is the trace
+/// context (flow id), always present so tracing on/off cannot change packet
+/// sizes (and therefore serialization delays — the replay contract).
+constexpr std::size_t kDataHeaderBytes = 1 + 2 + 8 + 4 + 4 + 4 + 8 + 4;  // +4 blob len
 /// DATA with checksum (data_ck) carries an extra u32 before the blob.
 constexpr std::size_t kDataCkHeaderBytes = kDataHeaderBytes + 4;
 /// Ditto for stream segments.
 constexpr std::size_t kStreamHeaderBytes = 1 + 2 + 4 + 8 + 8 + 4 + 4;
+/// Stream messages ride the byte stream framed as [u32 len][u64 flow][bytes]
+/// — the flow id travels in the reliable framing, exactly once and in
+/// order, so the receiver can close the flow at parse time.
+constexpr std::size_t kStreamFrameHeaderBytes = 4 + 8;
+
+/// Deterministic 64-bit trace-context id (FNV-1a over the endpoints and
+/// per-destination message id).  Minting draws no randomness and both ends
+/// of an RPC can recompute it, which is what keeps seeded chaos replays
+/// bit-identical with tracing on or off.
+std::uint64_t mint_flow(std::string_view src_host, std::uint16_t src_port,
+                        std::string_view dst_host, std::uint16_t dst_port,
+                        std::uint64_t msg_id);
 
 /// FNV-1a (32-bit) over a payload's bytes — the opt-in SRUDP fragment
 /// checksum.  The 1998 wire format had none; see SrudpConfig::checksum.

@@ -9,10 +9,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
 #include <memory>
 #include <set>
 
 #include "chaos_util.hpp"
+#include "obs/flight.hpp"
 #include "daemon/daemon.hpp"
 #include "rcds/server.hpp"
 #include "rm/resource_manager.hpp"
@@ -98,7 +102,9 @@ GauntletResult run_srudp_gauntlet(std::uint64_t seed) {
   r.pending = sender.pending();
   r.drops_fault = world.network("lan")->stats().drops_fault;
   r.fault_duplicates = world.network("lan")->stats().fault_duplicates;
-  r.digest = chaos::trace_digest() + "|delivered=" + std::to_string(r.delivered) +
+  // Excluding "flow" makes the digest comparable between flow-tracing-on
+  // and -off runs — the replay contract says everything else is identical.
+  r.digest = chaos::trace_digest("flow") + "|delivered=" + std::to_string(r.delivered) +
              "|retx=" + std::to_string(sender.stats().fragments_retransmitted.v) +
              "|dropsF=" + std::to_string(world.network("lan")->stats().drops_fault) +
              "|dups=" + std::to_string(world.network("lan")->stats().fault_duplicates);
@@ -495,6 +501,108 @@ TEST(ChaosObs, ExpiredAndSkippedCountsMatchMetricsRegistry) {
   EXPECT_EQ(chaos::metric_value("srudp.messages_expired") - expired0, 1.0);
   EXPECT_EQ(chaos::metric_value("srudp.messages_skipped") - skipped0, 1.0);
 }
+
+// ---- causal flow tracing: replay contract + linked cross-host flows --------
+//
+// The trace context is always minted and carried on the wire; only the
+// *recording* of flow events is switched at runtime.  So a flow-on run and
+// a flow-off run of the same seed must be byte-identical in every respect
+// except the flow events themselves: same deliveries, same retransmit
+// counts, same virtual timestamps on every non-flow trace event.
+
+TEST(ChaosTrace, FlowTracingPreservesReplayDigestsAndLinksRetransmits) {
+  auto& tracer = obs::Tracer::global();
+  // Room for the per-fragment flow events so they cannot evict non-flow
+  // events from the ring and perturb the filtered digest.
+  tracer.set_capacity(1 << 20);
+  std::uint64_t seed = chaos::chaos_seed() + 700;
+
+  auto base = run_srudp_gauntlet(seed);
+  ASSERT_TRUE(base.intact) << base.why;
+
+  tracer.set_flow_enabled(true);
+  auto traced = run_srudp_gauntlet(seed);
+  tracer.set_flow_enabled(false);
+  ASSERT_TRUE(traced.intact) << traced.why;
+
+  // (a) bit-identical seeded delivery + trace digests with tracing enabled.
+  EXPECT_EQ(base.digest, traced.digest);
+  EXPECT_EQ(base.delivered, traced.delivered);
+
+  // (b) at least one retransmitted message forms a linked cross-host flow:
+  // flow_start srudp.send -> flow_step srudp.retransmit -> flow_end
+  // srudp.deliver, all bound by one id.  The gauntlet's fault profile
+  // guarantees retransmissions.
+  auto events = tracer.events();
+  std::set<std::uint64_t> retransmitted, started, delivered;
+  for (const auto& e : events) {
+    if (e.id == 0) continue;
+    if (e.name == "srudp.retransmit") retransmitted.insert(e.id);
+    if (e.phase == obs::TraceEvent::Phase::flow_start && e.name == "srudp.send")
+      started.insert(e.id);
+    if (e.phase == obs::TraceEvent::Phase::flow_end && e.name == "srudp.deliver")
+      delivered.insert(e.id);
+  }
+  ASSERT_FALSE(retransmitted.empty()) << "fault profile produced no retransmits";
+  bool linked = false;
+  for (std::uint64_t id : retransmitted)
+    if (started.count(id) && delivered.count(id)) {
+      linked = true;
+      break;
+    }
+  EXPECT_TRUE(linked) << "no retransmitted flow is linked send->retransmit->deliver";
+
+  // The Chrome export carries the flow phases and hex ids viewers bind on.
+  const std::string path = "chaos_flow_trace.json";
+  ASSERT_TRUE(tracer.write_chrome_json(path));
+  std::ifstream in(path);
+  std::string json((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);
+  EXPECT_NE(json.find("\"id\":\"0x"), std::string::npos);
+
+  tracer.set_capacity(16384);  // restore the suite default
+}
+
+// ---- flight recorder: a dump after a faulted run shows what chaos did ------
+
+TEST(ChaosFlight, DumpAfterFaultedRunContainsInjectedFaults) {
+  auto& flight = obs::FlightRecorder::global();
+  flight.clear();
+  auto r = run_srudp_gauntlet(chaos::chaos_seed() + 800);
+  ASSERT_TRUE(r.intact) << r.why;
+
+  // This is the dump a tripped invariant (see FlightDumpOnFailure below)
+  // or the SIGABRT handler would emit: the fault plan's actions must be in
+  // it, alongside the transport reactions they provoked.
+  std::string dump = flight.dump();
+  EXPECT_NE(dump.find("fault/partition.start"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("fault/host.crash"), std::string::npos);
+  EXPECT_NE(dump.find("fault/host.restart"), std::string::npos);
+  EXPECT_NE(dump.find("srudp/rto"), std::string::npos);
+
+  // Host filtering: the sender's RTOs are attributed to host "a".
+  std::string a_only = flight.dump("a");
+  EXPECT_NE(a_only.find("srudp/rto"), std::string::npos);
+  // Network-level fault events carry no host and match every filter.
+  EXPECT_NE(a_only.find("fault/partition.start"), std::string::npos);
+}
+
+/// When any chaos invariant trips, print the flight recorder so the CI log
+/// shows the fault and protocol events leading up to the failure.
+class FlightDumpOnFailure : public ::testing::EmptyTestEventListener {
+  void OnTestPartResult(const ::testing::TestPartResult& result) override {
+    if (!result.failed()) return;
+    std::fprintf(stderr, "\n=== flight recorder at failure ===\n%s\n",
+                 obs::FlightRecorder::global().dump().c_str());
+  }
+};
+
+const bool kFlightListenerInstalled = [] {
+  ::testing::UnitTest::GetInstance()->listeners().Append(new FlightDumpOnFailure);
+  return true;
+}();
 
 }  // namespace
 }  // namespace snipe

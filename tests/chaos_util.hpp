@@ -50,9 +50,13 @@ inline Bytes chaos_payload(std::size_t n, std::uint64_t seed, std::uint32_t inde
 /// that is the replay contract DESIGN.md documents.  Call
 /// obs::Tracer::global().clear() before the run so earlier tests in the
 /// same binary cannot leak events into the digest.
-inline std::string trace_digest() {
+/// `exclude_cat` drops one category from the digest — the flow-tracing
+/// determinism test compares a flow-on run against a flow-off run, which
+/// must match exactly once the "flow" events themselves are set aside.
+inline std::string trace_digest(const std::string& exclude_cat = {}) {
   std::string out;
   for (const auto& e : obs::Tracer::global().events()) {
+    if (!exclude_cat.empty() && e.cat == exclude_cat) continue;
     out += std::to_string(e.ts);
     out += ':';
     out += e.cat;

@@ -6,6 +6,7 @@
 #include "core/console.hpp"
 #include "core/group.hpp"
 #include "core/process.hpp"
+#include "obs/flight.hpp"
 #include "rcds/server.hpp"
 #include "util/uri.hpp"
 
@@ -370,6 +371,181 @@ TEST_F(CoreFixture, ConsoleListsProcessesStartedByDaemon) {
   ASSERT_TRUE(tasks.ok());
   ASSERT_EQ(tasks.value().size(), 1u);
   EXPECT_EQ(tasks.value()[0], "urn:snipe:proc:listed-task");
+}
+
+// ---- observability reports (free functions over synthetic inputs) ----------
+
+TEST(ConsoleReports, HealthReportOnEmptySnapshotSaysSo) {
+  EXPECT_EQ(health_report({}), "(no health data)");
+}
+
+TEST(ConsoleReports, HealthReportRollsUpLatencyRetransmitsAndFailovers) {
+  obs::Snapshot snap;
+  obs::MetricValue lat;
+  lat.kind = obs::MetricValue::Kind::histogram;
+  lat.name = "srudp.delivery_ms";
+  lat.count = 10;
+  lat.p50 = 1.5;
+  lat.p95 = 4;
+  lat.p99 = 9;
+  snap.push_back(lat);
+  auto counter = [&](const std::string& name, double v) {
+    obs::MetricValue m;
+    m.name = name;
+    m.value = v;
+    snap.push_back(m);
+  };
+  counter("srudp.fragments_sent", 200);
+  counter("srudp.fragments_retransmitted", 20);
+  counter("stream.segments_sent", 0);  // idle transport: no ratio line
+  counter("multipath.route_switches", 4);
+
+  std::string out = health_report(snap);
+  EXPECT_NE(out.find("srudp delivery_ms p50=1.500 p95=4.000 p99=9.000 n=10"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("srudp retransmit_ratio 0.100"), std::string::npos) << out;
+  EXPECT_EQ(out.find("stream retransmit_ratio"), std::string::npos) << out;
+  EXPECT_NE(out.find("route_failovers 4"), std::string::npos) << out;
+}
+
+TEST(ConsoleReports, TraceReportResolvesFlowIdsAndMsgIds) {
+  std::vector<obs::TraceEvent> events;
+  auto add = [&](obs::TraceEvent::Phase phase, const std::string& name,
+                 std::uint64_t id, obs::Tracer::Args args = {}) {
+    obs::TraceEvent e;
+    e.phase = phase;
+    e.cat = "flow";
+    e.name = name;
+    e.id = id;
+    e.args = std::move(args);
+    events.push_back(std::move(e));
+  };
+  add(obs::TraceEvent::Phase::flow_start, "srudp.send", 0x123, {{"msg", "7"}});
+  add(obs::TraceEvent::Phase::flow_step, "srudp.tx", 0x123);
+  add(obs::TraceEvent::Phase::flow_end, "srudp.deliver", 0x123);
+  add(obs::TraceEvent::Phase::flow_start, "srudp.send", 0x456, {{"msg", "8"}});
+
+  std::string by_flow = trace_report(events, "0x123");
+  EXPECT_NE(by_flow.find("srudp.send"), std::string::npos);
+  EXPECT_NE(by_flow.find("srudp.tx"), std::string::npos);
+  EXPECT_NE(by_flow.find("srudp.deliver"), std::string::npos);
+  EXPECT_EQ(by_flow.find("0x456"), std::string::npos);
+
+  // A message id from a log line resolves through the "msg" argument.
+  std::string by_msg = trace_report(events, "7");
+  EXPECT_NE(by_msg.find("flow 0x123"), std::string::npos) << by_msg;
+  EXPECT_NE(by_msg.find("srudp.deliver"), std::string::npos);
+
+  EXPECT_NE(trace_report(events, "999").find("no flow events"), std::string::npos);
+  EXPECT_NE(trace_report({}, "0x123").find("no flow events"), std::string::npos);
+}
+
+// ---- console verbs over the live registries --------------------------------
+
+TEST_F(CoreFixture, ConsoleObservabilityVerbs) {
+  auto console_proc = make_process("hostC", "console");
+  Console console(*console_proc);
+  auto run_command = [&](const std::string& line) {
+    std::string out;
+    console.interpret(line, [&](std::string reply) { out = std::move(reply); });
+    world.engine().run();
+    return out;
+  };
+
+  // metrics: unknown prefix filters everything out.
+  EXPECT_EQ(run_command("metrics zzz.no_such_prefix."), "(no metrics recorded)");
+  // metrics: a prefix keeps only its own lines (the fixture's RPC traffic
+  // guarantees both srudp.* and rcds.* entries exist).
+  std::string filtered = run_command("metrics rcds.");
+  EXPECT_NE(filtered.find("rcds."), std::string::npos);
+  EXPECT_EQ(filtered.find("srudp."), std::string::npos);
+
+  // health: the fixture's srudp traffic registered delivery histograms.
+  std::string health = run_command("health");
+  EXPECT_NE(health.find("srudp delivery_ms"), std::string::npos) << health;
+  EXPECT_NE(health.find("retransmit_ratio"), std::string::npos) << health;
+
+  // flight: recorded events surface, filtered by host.
+  obs::FlightRecorder::global().record("hostC", "test", "console_probe", "x=1");
+  EXPECT_NE(run_command("flight hostC").find("test/console_probe x=1"),
+            std::string::npos);
+
+  // trace: unknown ids say so; recorded flows print their trail and are
+  // reachable both by flow id and by message id.
+  EXPECT_NE(run_command("trace 0xdeadbeef").find("no flow events"), std::string::npos);
+  auto& tracer = obs::Tracer::global();
+  tracer.set_flow_enabled(true);
+  tracer.flow(obs::TraceEvent::Phase::flow_start, "flow", "srudp.send", 0x7177,
+              {{"msg", "424242"}});
+  tracer.flow(obs::TraceEvent::Phase::flow_end, "flow", "srudp.deliver", 0x7177);
+  tracer.set_flow_enabled(false);
+  EXPECT_NE(run_command("trace 0x7177").find("srudp.deliver"), std::string::npos);
+  EXPECT_NE(run_command("trace 424242").find("srudp.send"), std::string::npos);
+
+  // The usage line advertises the new verbs.
+  std::string usage = run_command("bogus");
+  EXPECT_NE(usage.find("trace <id>"), std::string::npos);
+  EXPECT_NE(usage.find("flight [host]"), std::string::npos);
+  EXPECT_NE(usage.find("health"), std::string::npos);
+}
+
+// ---- the ops gateway: observability over SNIPE's own HTTP machinery --------
+
+TEST_F(CoreFixture, OpsGatewayServesMetricsHealthFlightAndTrace) {
+  auto ops_proc = make_process("hostA", "ops");
+  OpsGateway ops(*ops_proc, "http://ops.utk.edu/");
+  auto browser_proc = make_process("hostB", "browser");
+  HttpGateway gateway(*browser_proc);
+  world.engine().run();
+
+  auto fetch = [&](const std::string& path) {
+    Result<HttpResponse> out(Errc::state_error, "unset");
+    HttpRequest req;
+    req.path = path;
+    gateway.request("http://ops.utk.edu/", req,
+                    [&](Result<HttpResponse> r) { out = r; });
+    world.engine().run();
+    return out;
+  };
+
+  auto metrics = fetch("/metrics?prefix=srudp.");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics.value().status, 200);
+  std::string body = to_string(metrics.value().body);
+  EXPECT_NE(body.find("srudp."), std::string::npos);
+  EXPECT_EQ(body.find("rcds."), std::string::npos);
+
+  auto health = fetch("/health");
+  ASSERT_TRUE(health.ok());
+  EXPECT_NE(to_string(health.value().body).find("delivery_ms"), std::string::npos);
+
+  obs::FlightRecorder::global().record("hostA", "test", "gateway_probe");
+  auto flight = fetch("/flight?host=hostA");
+  ASSERT_TRUE(flight.ok());
+  EXPECT_NE(to_string(flight.value().body).find("test/gateway_probe"),
+            std::string::npos);
+
+  auto bad_trace = fetch("/trace");
+  ASSERT_TRUE(bad_trace.ok());
+  EXPECT_EQ(bad_trace.value().status, 400);
+
+  auto missing = fetch("/nope");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing.value().status, 404);
+
+  // Non-GET methods are refused at the dispatcher.
+  HttpRequest post;
+  post.method = "POST";
+  post.path = "/metrics";
+  EXPECT_EQ(ops.handle(post).status, 400);
+
+  // The HTTP/1.0 text renderer — what a real browser would be handed.
+  std::string text = to_http_text(missing.value());
+  EXPECT_EQ(text.rfind("HTTP/1.0 404 Not Found\r\n", 0), 0u) << text;
+  EXPECT_NE(text.find("Content-Type: text/plain\r\n"), std::string::npos);
+  EXPECT_NE(text.find("Content-Length: "), std::string::npos);
+  EXPECT_NE(text.find("\r\n\r\nnot found: /nope"), std::string::npos);
 }
 
 }  // namespace

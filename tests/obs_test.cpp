@@ -8,11 +8,13 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <cstdlib>
 #include <fstream>
 #include <set>
 #include <sstream>
 
 #include "daemon/daemon.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "rcds/server.hpp"
@@ -484,6 +486,112 @@ TEST(Trace, SimulatedRunExportsMultiCategoryChromeTrace) {
   }
   EXPECT_TRUE(saw_sent);
   EXPECT_TRUE(saw_rtt);
+}
+
+// ---------- flow events ----------
+
+TEST(Trace, FlowEventsCarryPhaseAndIdIntoChromeJson) {
+  Tracer t;
+  t.set_clock([] { return std::int64_t{1'000}; });
+  // Flow recording is off by default: the hot-path guard callers check.
+  EXPECT_FALSE(t.flow_enabled());
+  t.flow(TraceEvent::Phase::flow_start, "flow", "srudp.send", 0xabc);
+  EXPECT_TRUE(t.events().empty());
+
+  t.set_flow_enabled(true);
+  t.flow(TraceEvent::Phase::flow_start, "flow", "srudp.send", 0xabc, {{"msg", "1"}});
+  t.flow(TraceEvent::Phase::flow_step, "flow", "srudp.tx", 0xabc);
+  t.flow(TraceEvent::Phase::flow_end, "flow", "srudp.deliver", 0xabc);
+  t.set_flow_enabled(false);
+
+  auto events = t.events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].phase, TraceEvent::Phase::flow_start);
+  EXPECT_EQ(events[0].id, 0xabcu);
+  EXPECT_EQ(events[2].phase, TraceEvent::Phase::flow_end);
+
+  std::string json = t.chrome_json();
+  JsonParser parser(json);
+  ASSERT_TRUE(parser.parse()) << json;
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"t\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(json.find("\"id\":\"0xabc\""), std::string::npos);
+  EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);  // flow_end binding
+}
+
+TEST(Trace, FlowRespectsMasterEnableToo) {
+  Tracer t;
+  t.set_flow_enabled(true);
+  t.set_enabled(false);
+  t.flow(TraceEvent::Phase::flow_step, "flow", "x", 7);
+  EXPECT_TRUE(t.events().empty());
+}
+
+// ---------- flight recorder ----------
+
+TEST(Flight, RingWrapsOldestFirstAndCountsDrops) {
+  FlightRecorder f(4);
+  for (int n = 0; n < 10; ++n)
+    f.record("a", "test", "e" + std::to_string(n));
+  auto events = f.events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(f.dropped(), 6u);
+  for (int n = 0; n < 4; ++n) EXPECT_EQ(events[n].what, "e" + std::to_string(6 + n));
+  f.clear();
+  EXPECT_EQ(f.size(), 0u);
+  EXPECT_EQ(f.dropped(), 0u);
+}
+
+TEST(Flight, HostFilterKeepsWorldLevelEvents) {
+  FlightRecorder f(16);
+  f.record("a", "srudp", "rto", "peer=b");
+  f.record("b", "srudp", "rto", "peer=a");
+  f.record("", "fault", "partition.start", "groups=[a][b]");
+  EXPECT_EQ(f.events().size(), 3u);
+  auto a_events = f.events("a");
+  ASSERT_EQ(a_events.size(), 2u);  // a's own + the world-level fault
+  EXPECT_EQ(a_events[0].host, "a");
+  EXPECT_EQ(a_events[1].cat, "fault");
+
+  std::string dump = f.dump("b");
+  EXPECT_NE(dump.find("srudp/rto"), std::string::npos);
+  EXPECT_NE(dump.find("fault/partition.start"), std::string::npos);
+  EXPECT_EQ(dump.find("peer=b"), std::string::npos);  // a's event filtered out
+}
+
+TEST(Flight, DumpSaysSoWhenEmptyAndWhenDisabled) {
+  FlightRecorder f(8);
+  EXPECT_NE(f.dump().find("empty"), std::string::npos);
+  f.record("a", "c", "w");
+  EXPECT_NE(f.dump("ghost").find("no flight events"), std::string::npos);
+  f.set_enabled(false);
+  f.record("a", "c", "ignored");
+  EXPECT_EQ(f.size(), 1u);
+  f.set_enabled(true);
+}
+
+TEST(Flight, TimestampsComeFromTraceClock) {
+  auto& tracer = Tracer::global();
+  tracer.set_clock([] { return std::int64_t{123'456'789}; });
+  FlightRecorder f(8);
+  f.record("a", "c", "w");
+  tracer.set_clock(nullptr);
+  ASSERT_EQ(f.events().size(), 1u);
+  EXPECT_EQ(f.events()[0].ts, 123'456'789);
+}
+
+TEST(FlightDeathTest, AbortHandlerDumpsRecorder) {
+  // The sanitizer/assert path: SIGABRT triggers a stderr dump of the
+  // global recorder before the process dies.
+  FlightRecorder::install_abort_handler();
+  FlightRecorder::install_abort_handler();  // idempotent
+  EXPECT_DEATH(
+      {
+        FlightRecorder::global().record("a", "test", "before_abort", "detail");
+        std::abort();
+      },
+      "test/before_abort");
 }
 
 }  // namespace

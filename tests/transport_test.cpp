@@ -33,7 +33,7 @@ Bytes pattern_bytes(std::size_t n, std::uint32_t seed = 1) {
 // ---- wire codecs ----
 
 TEST(Wire, DataRoundTrip) {
-  DataPacket p{77, 3, 9, 12345, pattern_bytes(100)};
+  DataPacket p{77, 3, 9, 12345, /*flow=*/0xfeedbeefu, pattern_bytes(100)};
   auto wire = encode_data(4242, p);
   auto head = decode_head(wire).value();
   EXPECT_EQ(head.type, PacketType::data);
@@ -43,11 +43,12 @@ TEST(Wire, DataRoundTrip) {
   EXPECT_EQ(q.frag_index, 3u);
   EXPECT_EQ(q.frag_count, 9u);
   EXPECT_EQ(q.total_len, 12345u);
+  EXPECT_EQ(q.flow, 0xfeedbeefu);
   EXPECT_EQ(q.payload, p.payload);
 }
 
 TEST(Wire, DataChecksumRoundTripAndDetectsCorruption) {
-  DataPacket p{77, 3, 9, 12345, pattern_bytes(100)};
+  DataPacket p{77, 3, 9, 12345, 0, pattern_bytes(100)};
   auto wire = encode_data(4242, p, /*with_checksum=*/true);
   EXPECT_EQ(decode_head(wire).value().type, PacketType::data_ck);
   auto q = decode_data(wire).value();
@@ -65,14 +66,14 @@ TEST(Wire, DataChecksumRoundTripAndDetectsCorruption) {
 }
 
 TEST(Wire, PlainDataCarriesNoChecksum) {
-  DataPacket p{1, 0, 1, 4, pattern_bytes(4)};
+  DataPacket p{1, 0, 1, 4, 0, pattern_bytes(4)};
   auto q = decode_data(encode_data(1, p)).value();
   EXPECT_FALSE(q.has_checksum);
   EXPECT_TRUE(q.checksum_ok);  // vacuously: nothing to verify
 }
 
 TEST(Wire, DataRejectsBadIndices) {
-  DataPacket p{1, 5, 5, 10, {}};  // index == count
+  DataPacket p{1, 5, 5, 10, 0, {}};  // index == count
   EXPECT_FALSE(decode_data(encode_data(1, p)).ok());
 }
 
@@ -100,10 +101,13 @@ TEST(Wire, StreamRoundTrip) {
 }
 
 TEST(Wire, McastRoundTrip) {
-  McastDataPacket p{"urn:snipe:group:g", 3, 1, 4, 999, pattern_bytes(32)};
+  McastDataPacket p{"urn:snipe:group:g", 3,    1, 4, 999, /*flow=*/0xabcdef12u,
+                    /*born=*/123456789,  pattern_bytes(32)};
   auto q = decode_mcast_data(encode_mcast_data(1, p)).value();
   EXPECT_EQ(q.group, p.group);
   EXPECT_EQ(q.payload, p.payload);
+  EXPECT_EQ(q.flow, p.flow);
+  EXPECT_EQ(q.born, p.born);
 
   McastNackPacket n{"urn:snipe:group:g", 3, {0, 2, 5}};
   auto m = decode_mcast_nack(encode_mcast_nack(1, n)).value();
@@ -111,7 +115,7 @@ TEST(Wire, McastRoundTrip) {
 }
 
 TEST(Wire, HeaderSizeConstantsMatchReality) {
-  DataPacket p{1, 0, 1, 0, {}};
+  DataPacket p{1, 0, 1, 0, 0, {}};
   EXPECT_EQ(encode_data(1, p).size(), kDataHeaderBytes);
   StreamPacket s{1, 0, 0, 0, {}};
   EXPECT_EQ(encode_stream(PacketType::seg, 1, s).size(), kStreamHeaderBytes);
@@ -120,17 +124,17 @@ TEST(Wire, HeaderSizeConstantsMatchReality) {
 TEST(Wire, RejectsAbsurdFragmentCounts) {
   // Hostile-input bound (kMaxWireFragments): a forged count must be
   // rejected before any receiver sizes buffers from it.
-  DataPacket d{1, 0, kMaxWireFragments + 1, 10, pattern_bytes(4)};
+  DataPacket d{1, 0, kMaxWireFragments + 1, 10, 0, pattern_bytes(4)};
   EXPECT_FALSE(decode_data(encode_data(1, d)).ok());
 
   StatusPacket s{1, kMaxWireFragments + 1, make_bitmap(8)};
   EXPECT_FALSE(decode_status(encode_status(1, s)).ok());
 
-  McastDataPacket m{"g", 1, 0, kMaxWireFragments + 1, 10, pattern_bytes(4)};
+  McastDataPacket m{"g", 1, 0, kMaxWireFragments + 1, 10, 0, 0, pattern_bytes(4)};
   EXPECT_FALSE(decode_mcast_data(encode_mcast_data(1, m)).ok());
 
   // A multi-fragment message claiming zero total length is equally bogus.
-  DataPacket z{1, 0, 3, 0, pattern_bytes(4)};
+  DataPacket z{1, 0, 3, 0, 0, pattern_bytes(4)};
   EXPECT_FALSE(decode_data(encode_data(1, z)).ok());
 
   // NACK with a forged element count (hand-built: the encoder cannot
@@ -731,10 +735,10 @@ TEST(EthMcast, RejectsFragmentsDisagreeingWithFirstSeenMetadata) {
     evil.send({"good", 9000}, encode_mcast_data(9000, p), opts).value();
   };
   raw({"grp", /*msg_id=*/1, /*frag_index=*/0, /*frag_count=*/2, /*total_len=*/6,
-       to_bytes("abc")});
+       /*flow=*/0, /*born=*/0, to_bytes("abc")});
   // Same message, wildly different metadata: frags/have only hold 2 slots.
-  raw({"grp", 1, 7, 8, 6, to_bytes("x")});
-  raw({"grp", 1, 1, 2, 6, to_bytes("def")});
+  raw({"grp", 1, 7, 8, 6, 0, 0, to_bytes("x")});
+  raw({"grp", 1, 1, 2, 6, 0, 0, to_bytes("def")});
   world.engine().run();
 
   ASSERT_EQ(got.size(), 1u);
