@@ -13,7 +13,11 @@
 #include <cstdlib>
 #include <new>
 
+#include <optional>
+
 #include "bench_util.hpp"
+#include "daemon/telemetry.hpp"
+#include "transport/rpc.hpp"
 #include "transport/srudp.hpp"
 #include "transport/stream.hpp"
 
@@ -208,6 +212,86 @@ BENCHMARK(BM_SrudpDatapath)
     ->Arg(65536)
     ->Arg(1 << 20)
     ->Arg(4 << 20)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+/// Exporter-overhead gate (fleet telemetry plane): the same SRUDP transfer,
+/// but paced across ~6 virtual seconds so the telemetry exporter's default
+/// 1 s cadence actually fires mid-run — a burst transfer drains the engine
+/// in well under one beacon period and would measure nothing.  When
+/// `exporter_on`, a TelemetryExporter on the sender beacons in-band to a
+/// TelemetryCollector on the receiver over the same network the data rides.
+/// scripts/bench.sh compares the on/off pair and flags the exporter if it
+/// costs the data plane more than 2% — judged on the deterministic engine
+/// event count, with wall-clock throughput printed as informational.
+DatapathResult run_srudp_paced(simnet::MediaModel media, std::size_t size, int count,
+                               bool exporter_on, std::uint64_t* beacons) {
+  PairWorld pair(media, 42);
+  transport::SrudpEndpoint tx(pair.a(), 7001), rx(pair.b(), 7002);
+  int delivered = 0;
+  std::uint64_t delivered_bytes = 0;
+  rx.set_handler([&](const simnet::Address&, const auto& m) {
+    ++delivered;
+    delivered_bytes += m.size();
+  });
+  std::optional<transport::RpcEndpoint> coll_rpc, exp_rpc;
+  std::optional<daemon::TelemetryCollector> collector;
+  std::optional<daemon::TelemetryExporter> exporter;
+  if (exporter_on) {
+    coll_rpc.emplace(pair.b(), 7200);
+    collector.emplace(*coll_rpc);
+    exp_rpc.emplace(pair.a(), 7100);
+    daemon::TelemetryConfig cfg;
+    cfg.collectors = {coll_rpc->address()};
+    exporter.emplace(*exp_rpc, cfg);  // default cadence: period = 1 s
+    exporter->start();
+  }
+  DatapathResult r;
+  Bytes message(size, 0x5a);
+  std::uint64_t alloc_start = g_alloc_count;
+  auto start = Clock::now();
+  // Bursts of 8 per tick: long enough wall-clock for a stable 2% compare,
+  // while the tick spacing still stretches the run past several beacon
+  // periods of virtual time.
+  for (int i = 0; i < count; ++i) {
+    pair.world.engine().schedule(duration::milliseconds(250 * (i / 8)),
+                                 [&] { tx.send(rx.address(), Bytes(message)); });
+  }
+  pair.world.engine().run();
+  r.wall_secs = seconds_since(start);
+  r.allocs = g_alloc_count - alloc_start;
+  r.events = pair.world.engine().events_run();
+  r.sim_bytes = static_cast<double>(delivered_bytes);
+  r.complete = delivered == count;
+  if (beacons != nullptr)
+    *beacons = collector.has_value() ? collector->beacons_received() : 0;
+  return r;
+}
+
+void run_paced_case(benchmark::State& state, bool exporter_on) {
+  const std::size_t size = static_cast<std::size_t>(state.range(0));
+  const int count = 192;  // 24 ticks 250 ms apart -> ~6 virtual seconds, ~5 beacons
+  DatapathResult r;
+  std::uint64_t beacons = 0;
+  for (auto _ : state) {
+    reset_metrics();
+    r = run_srudp_paced(simnet::myrinet(), size, count, exporter_on, &beacons);
+    if (!r.complete) {
+      state.SkipWithError("transfer incomplete");
+      return;
+    }
+  }
+  report(state, r, count);
+  state.counters["beacons"] = static_cast<double>(beacons);
+  state.SetLabel(exporter_on ? "srudp/myrinet/exporter-on" : "srudp/myrinet/exporter-off");
+}
+
+void BM_SrudpPacedDatapath(benchmark::State& state) { run_paced_case(state, false); }
+BENCHMARK(BM_SrudpPacedDatapath)->Arg(1 << 20)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void BM_SrudpPacedDatapathExporter(benchmark::State& state) { run_paced_case(state, true); }
+BENCHMARK(BM_SrudpPacedDatapathExporter)
+    ->Arg(1 << 20)
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 

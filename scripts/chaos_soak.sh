@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Soaks the chaos suite: a long multi-seed run intended for overnight / CI
+# nightly use, as opposed to chaos_sweep.sh's quick pre-merge pass.  Beyond
+# sweeping more seeds, the soak turns on per-seed digest logging
+# (SNIPE_CHAOS_DIGEST_LOG): every replay-checked scenario appends a
+# "<seed> <scenario> <digest-fnv1a>" line, so two soaks of the same seed
+# range can be diffed to catch *cross-build* determinism drift — a scenario
+# whose fingerprint silently changed even though each run still replays
+# against itself.
+#
+# Usage: scripts/chaos_soak.sh [N] [build-dir]      (defaults: 50, build)
+# Env:   SNIPE_CHAOS_BASE_SEED    first seed of the soak (default 20260807)
+#        SNIPE_CHAOS_DIGEST_LOG   digest log path
+#                                 (default <build-dir>/chaos_soak_digests.log)
+#
+# Registered as the ctest test "chaos_soak" (label "soak") when CMake is
+# configured with -DSNIPE_CHAOS_SOAK=ON; off by default so the tier-1
+# suite's runtime stays flat.  Select it with `ctest -L soak`.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+N="${1:-50}"
+BUILD_DIR="${2:-build}"
+BIN="$BUILD_DIR/tests/chaos_test"
+
+if [ ! -x "$BIN" ]; then
+  echo "chaos_soak: $BIN not built (cmake --build $BUILD_DIR --target chaos_test)" >&2
+  exit 2
+fi
+
+BASE="${SNIPE_CHAOS_BASE_SEED:-20260807}"
+DIGEST_LOG="${SNIPE_CHAOS_DIGEST_LOG:-$BUILD_DIR/chaos_soak_digests.log}"
+: > "$DIGEST_LOG"
+echo "chaos_soak: $N seeds from $BASE, digests -> $DIGEST_LOG"
+
+failures=0
+for i in $(seq 0 $((N - 1))); do
+  seed=$((BASE + i * 1000003))
+  echo "==== chaos soak: seed $seed ($((i + 1))/$N) ===="
+  if ! SNIPE_CHAOS_SEED=$seed SNIPE_CHAOS_DIGEST_LOG="$DIGEST_LOG" \
+       "$BIN" --gtest_brief=1; then
+    echo "chaos_soak: invariant tripped at seed $seed (flight-recorder dump above)" >&2
+    echo "reproduce with: SNIPE_CHAOS_SEED=$seed $BIN" >&2
+    failures=$((failures + 1))
+  fi
+done
+
+lines=$(wc -l < "$DIGEST_LOG" | tr -d ' ')
+if [ "$failures" -gt 0 ]; then
+  echo "chaos_soak: $failures/$N seeds FAILED ($lines digest lines in $DIGEST_LOG)" >&2
+  exit 1
+fi
+echo "chaos_soak: $N seeds clean ($lines digest lines in $DIGEST_LOG)"

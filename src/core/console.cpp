@@ -1,6 +1,7 @@
 #include "core/console.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <sstream>
 #include <string_view>
@@ -117,6 +118,30 @@ std::string trace_report(const std::vector<obs::TraceEvent>& events,
   return out;
 }
 
+std::string fleet_health_report(const obs::FleetStore& store, std::int64_t now_ns) {
+  auto hosts = store.health(now_ns);
+  if (hosts.empty()) return "(no fleet telemetry)";
+  std::size_t stale_count = 0;
+  for (const auto& h : hosts) stale_count += h.stale ? 1 : 0;
+  std::string out = "fleet hosts: " + std::to_string(hosts.size()) + " (" +
+                    std::to_string(stale_count) + " stale)\n";
+  char line[192];
+  for (const auto& h : hosts) {
+    std::snprintf(line, sizeof(line),
+                  "  %-16s beacons=%llu resyncs=%llu last=%s missed=%.1f%s\n",
+                  h.host.c_str(), static_cast<unsigned long long>(h.beacons),
+                  static_cast<unsigned long long>(h.resyncs),
+                  format_time(h.last_arrival).c_str(), h.missed,
+                  h.stale ? " STALE" : "");
+    out += line;
+  }
+  // The rollup reuses the local health report over the fleet-merged
+  // snapshot: merged sketches make the percentiles exact for the union.
+  out += "fleet rollup:\n";
+  out += health_report(store.merged_snapshot());
+  return out;
+}
+
 void Console::interpret(const std::string& line, std::function<void(std::string)> reply) {
   std::istringstream parts(trim(line));
   std::string verb, arg;
@@ -189,9 +214,43 @@ void Console::interpret(const std::string& line, std::function<void(std::string)
     reply(health_report(obs::MetricsRegistry::global().snapshot()));
     return;
   }
+  if (verb == "fleet") {
+    if (fleet_ == nullptr) {
+      reply("fleet: no collector attached to this console");
+      return;
+    }
+    std::string arg2;
+    parts >> arg2;
+    if (arg == "metrics") {
+      std::string out = fleet_->format_metrics(arg2);
+      reply(out.empty() ? "(no fleet metrics)" : out);
+      return;
+    }
+    if (arg == "health") {
+      reply(fleet_health_report(*fleet_, obs::Tracer::global().now()));
+      return;
+    }
+    if (arg == "flight") {
+      reply(fleet_->format_flight(arg2));
+      return;
+    }
+    if (arg == "top") {
+      std::size_t n = 5;
+      if (!arg2.empty()) {
+        char* end = nullptr;
+        unsigned long long v = std::strtoull(arg2.c_str(), &end, 10);
+        if (end != arg2.c_str() && v > 0) n = static_cast<std::size_t>(v);
+      }
+      reply(fleet_->format_top(n));
+      return;
+    }
+    reply("usage: fleet metrics [prefix] | fleet health | fleet flight [host] | "
+          "fleet top [n]");
+    return;
+  }
   reply(
       "usage: ps <host-url> | state <urn> | meta <uri> | where <urn> | routers <group> | "
-      "metrics [prefix] | trace <id> | flight [host] | health");
+      "metrics [prefix] | trace <id> | flight [host] | health | fleet <sub> [arg]");
 }
 
 Bytes HttpRequest::encode() const {
@@ -385,6 +444,28 @@ HttpResponse OpsGateway::handle(const HttpRequest& request) const {
     if (it == params.end() || it->second.empty())
       return text_response(400, "usage: /trace?id=<flow-or-msg-id>\n");
     return text_response(200, trace_report(obs::Tracer::global().events(), it->second));
+  }
+  if (path.rfind("/fleet/", 0) == 0) {
+    if (fleet_ == nullptr)
+      return text_response(404, "no fleet collector attached\n");
+    if (path == "/fleet/metrics") {
+      std::string out = fleet_->format_metrics(params["prefix"]);
+      return text_response(200, out.empty() ? "(no fleet metrics)\n" : out);
+    }
+    if (path == "/fleet/health")
+      return text_response(200,
+                           fleet_health_report(*fleet_, obs::Tracer::global().now()));
+    if (path == "/fleet/flight")
+      return text_response(200, fleet_->format_flight(params["host"]) + "\n");
+    if (path == "/fleet/top") {
+      std::size_t n = 5;
+      if (auto it = params.find("n"); it != params.end() && !it->second.empty()) {
+        char* end = nullptr;
+        unsigned long long v = std::strtoull(it->second.c_str(), &end, 10);
+        if (end != it->second.c_str() && v > 0) n = static_cast<std::size_t>(v);
+      }
+      return text_response(200, fleet_->format_top(n));
+    }
   }
   return text_response(404, "not found: " + path + "\n");
 }

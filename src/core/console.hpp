@@ -16,6 +16,7 @@
 #pragma once
 
 #include "core/process.hpp"
+#include "obs/fleet.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -35,6 +36,14 @@ std::string health_report(const obs::Snapshot& snapshot);
 std::string trace_report(const std::vector<obs::TraceEvent>& events,
                          const std::string& query);
 
+/// Fleet health rollup: one liveness line per known host (beacon counts,
+/// beacon age in periods, STALE flag once stale_after_beacons periods pass
+/// with nothing received) followed by health_report() over the fleet-merged
+/// snapshot — so the fleet rollup's percentiles are exact with respect to
+/// the union of every host's histogram buckets.  `now_ns` is the clock the
+/// staleness math runs against (the tracer clock: virtual time in a sim).
+std::string fleet_health_report(const obs::FleetStore& store, std::int64_t now_ns);
+
 /// A human-facing SNIPE process: metadata queries + commands.
 ///
 /// `interpret` implements the character-based interface: a PVM-console-like
@@ -51,9 +60,17 @@ std::string trace_report(const std::vector<obs::TraceEvent>& events,
 ///   trace <id>             flow-event trail of one message (flow or msg id)
 ///   flight [host]          recent flight-recorder events, optionally per host
 ///   health                 delivery-latency / retransmit / failover rollup
+///   fleet metrics [prefix] fleet-merged registry scrape (set_fleet first)
+///   fleet health           per-host liveness + fleet-merged health rollup
+///   fleet flight [host]    fleet flight timeline, merge-sorted by time
+///   fleet top [n]          worst-n hosts by retransmit ratio / delivery p99
 class Console {
  public:
   explicit Console(SnipeProcess& process) : process_(process) {}
+
+  /// Attaches a collector's fleet store; the `fleet *` verbs answer from it
+  /// (and report the lack of one until attached).
+  void set_fleet(const obs::FleetStore* fleet) { fleet_ = fleet; }
 
   /// Evaluates one command line; the reply is human-readable text.
   void interpret(const std::string& line, std::function<void(std::string)> reply);
@@ -95,6 +112,7 @@ class Console {
 
  private:
   SnipeProcess& process_;
+  const obs::FleetStore* fleet_ = nullptr;
 };
 
 struct HttpRequest {
@@ -170,9 +188,21 @@ std::string to_http_text(const HttpResponse& response);
 ///   GET /health                    health_report() over a live snapshot
 ///   GET /flight[?host=a]           flight-recorder dump, optionally per host
 ///   GET /trace?id=<flow-or-msg>    trace_report() for one causal flow
+///
+/// With a fleet store attached (set_fleet), the local surface grows its
+/// fleet-wide counterpart, answered from collected beacons instead of this
+/// process's globals:
+///
+///   GET /fleet/metrics[?prefix=]   fleet-merged registry scrape
+///   GET /fleet/health              per-host liveness + merged health rollup
+///   GET /fleet/flight[?host=a]     fleet flight timeline (merge-sorted)
+///   GET /fleet/top[?n=5]           worst-n hosts (retransmit / delivery p99)
 class OpsGateway {
  public:
   OpsGateway(SnipeProcess& process, std::string service_uri);
+
+  /// Attaches a collector's fleet store; /fleet/* answers 404 until then.
+  void set_fleet(const obs::FleetStore* fleet) { fleet_ = fleet; }
 
   /// The request dispatcher, public so tests can drive it without a
   /// simulated browser in the loop.
@@ -183,6 +213,7 @@ class OpsGateway {
 
  private:
   HttpServer server_;
+  const obs::FleetStore* fleet_ = nullptr;
 };
 
 }  // namespace snipe::core

@@ -240,6 +240,15 @@ SnipeDaemon::SnipeDaemon(simnet::Host& host, std::vector<simnet::Address> rc_rep
           })
       .value();
 
+  // Fleet telemetry roles (DESIGN.md "fleet telemetry plane"): collector
+  // first so a daemon that is both can receive its own beacons.
+  if (config_.telemetry_collector)
+    telemetry_collector_ = std::make_unique<TelemetryCollector>(rpc_);
+  if (!config_.telemetry.collectors.empty()) {
+    telemetry_exporter_ = std::make_unique<TelemetryExporter>(rpc_, config_.telemetry);
+    telemetry_exporter_->start();
+  }
+
   publish_host_metadata();
   engine_.schedule_weak(config_.load_report_period, [this] { publish_load(); });
   heartbeats_ = &obs::MetricsRegistry::global().counter("daemon.heartbeats");

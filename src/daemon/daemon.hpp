@@ -26,6 +26,7 @@
 #include "crypto/identity.hpp"
 #include "crypto/session.hpp"
 #include "daemon/task.hpp"
+#include "daemon/telemetry.hpp"
 #include "files/fileserver.hpp"
 #include "obs/metrics.hpp"
 #include "playground/playground.hpp"
@@ -61,6 +62,13 @@ struct DaemonConfig {
   /// (playground verification).
   crypto::TrustStore trust;
   playground::PlaygroundConfig playground;
+  /// Fleet telemetry export (off unless collectors are configured): the
+  /// daemon publishes beacons for its whole process — "each SNIPE daemon
+  /// mediates ... monitoring machine load and other local resources".
+  TelemetryConfig telemetry;
+  /// Serve the beacon tag and maintain a fleet store on this daemon (the
+  /// collector role; any daemon can take it).
+  bool telemetry_collector = false;
 };
 
 struct DaemonStats {
@@ -115,6 +123,13 @@ class SnipeDaemon {
   /// manage this host's resources").
   void add_broker(const std::string& broker_url);
 
+  /// Telemetry roles (nullptr when not configured).
+  TelemetryExporter* telemetry_exporter() { return telemetry_exporter_.get(); }
+  TelemetryCollector* telemetry_collector() { return telemetry_collector_.get(); }
+  const TelemetryCollector* telemetry_collector() const {
+    return telemetry_collector_.get();
+  }
+
  private:
   struct TaskEntry final : TaskHandle {
     SnipeDaemon* daemon = nullptr;
@@ -156,6 +171,8 @@ class SnipeDaemon {
   /// §4 authenticated channels, keyed by the RM endpoint that opened them.
   std::map<simnet::Address, crypto::Session> sessions_;
   std::uint64_t next_task_seq_ = 1;
+  std::unique_ptr<TelemetryExporter> telemetry_exporter_;
+  std::unique_ptr<TelemetryCollector> telemetry_collector_;
   DaemonStats stats_;
   obs::Counter* heartbeats_;  ///< global "daemon.heartbeats" (pongs answered)
   Logger log_;

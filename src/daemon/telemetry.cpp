@@ -1,0 +1,74 @@
+#include "daemon/telemetry.hpp"
+
+#include "obs/trace.hpp"
+
+namespace snipe::daemon {
+
+TelemetryExporter::TelemetryExporter(transport::RpcEndpoint& rpc, TelemetryConfig config,
+                                     obs::MetricsRegistry* registry,
+                                     obs::FlightRecorder* flight)
+    : rpc_(rpc),
+      engine_(rpc.engine()),
+      config_(std::move(config)),
+      builder_({rpc.host().name(), config_.period, config_.full_every,
+                config_.max_flight, registry, flight}) {
+  obs::MetricsRegistry& r =
+      registry != nullptr ? *registry : obs::MetricsRegistry::global();
+  beacons_counter_ = &r.counter("telemetry.beacons_sent");
+  bytes_counter_ = &r.counter("telemetry.beacon_bytes");
+}
+
+void TelemetryExporter::start() {
+  if (running_ || config_.collectors.empty() || config_.period <= 0) return;
+  running_ = true;
+  engine_.schedule_weak(config_.period, [this] { tick(); });
+}
+
+void TelemetryExporter::tick() {
+  if (!running_) return;
+  engine_.schedule_weak(config_.period, [this] { tick(); });
+  // A crashed host exports nothing; the deltas keep accumulating and ride
+  // the first beacon after revival (the collector sees an in-sequence
+  // delta, so nothing is lost but time).
+  if (!rpc_.host().up()) return;
+
+  auto& tracer = obs::Tracer::global();
+  obs::TelemetryBeacon beacon = builder_.build(tracer.now());
+  Bytes wire = beacon.encode();
+  for (const simnet::Address& collector : config_.collectors)
+    rpc_.notify(collector, tags::kTelemetryBeacon, wire);
+  ++beacons_sent_;
+  beacons_counter_->inc();
+  bytes_counter_->inc(wire.size() * config_.collectors.size());
+  // "telemetry" is its own trace category, excluded from replay digests the
+  // way "flow" is — the beacon must be observable without being part of the
+  // replay contract.
+  tracer.instant("telemetry", "telemetry.beacon",
+                 {{"host", beacon.host},
+                  {"seq", std::to_string(beacon.seq)},
+                  {"bytes", std::to_string(wire.size())},
+                  {"full", beacon.full ? "1" : "0"}});
+}
+
+TelemetryCollector::TelemetryCollector(transport::RpcEndpoint& rpc,
+                                       obs::FleetStore::Options options)
+    : rpc_(rpc), store_(options), log_("telemetry@" + rpc.host().name()) {
+  rpc_.on_notify(tags::kTelemetryBeacon, [this](const simnet::Address& from,
+                                                const Bytes& body) {
+    auto beacon = obs::TelemetryBeacon::decode(body);
+    if (!beacon) {
+      ++beacons_malformed_;
+      log_.warn("malformed beacon from ", from.to_string(), ": ",
+                beacon.error().to_string());
+      return;
+    }
+    ++beacons_received_;
+    auto& tracer = obs::Tracer::global();
+    store_.apply(beacon.value(), tracer.now());
+    tracer.instant("telemetry", "telemetry.beacon_rx",
+                   {{"host", beacon.value().host},
+                    {"seq", std::to_string(beacon.value().seq)}});
+  });
+}
+
+}  // namespace snipe::daemon

@@ -1,0 +1,101 @@
+// In-band fleet telemetry: the networked half of the telemetry plane
+// (obs/fleet.hpp holds the transport-free data structures).
+//
+// Every SNIPE process can run a TelemetryExporter — a weak periodic timer
+// that builds a delta-compressed TelemetryBeacon from its registry and
+// flight recorder and publishes it as an ordinary one-way RPC notification
+// to one or more collectors.  Riding the real transports is deliberate: the
+// paper's daemons "monitor hosts and processes" with the same messaging
+// they manage them with, and the chaos harness then exercises the telemetry
+// path for free.  A TelemetryCollector serves the beacon tag and folds every
+// beacon into an obs::FleetStore, which the ops gateway and console query
+// (/fleet/*).  Staleness is evaluated lazily at query time, so a partitioned
+// exporter shows up as stale without the collector doing any per-host work.
+//
+// Determinism contract: exporter traffic emits trace events only in the
+// dedicated "telemetry" category (excluded from chaos replay digests, like
+// "flow"), never draws host or fault RNG on loss-free management networks
+// (Rng::chance(0) consumes nothing), and never perturbs other components'
+// timestamps — seeded digests are bit-identical with the exporter on or
+// off (ChaosTrace.TelemetryExporterPreservesReplayDigests).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "obs/fleet.hpp"
+#include "transport/rpc.hpp"
+
+namespace snipe::daemon {
+
+namespace tags {
+inline constexpr std::uint32_t kTelemetryBeacon = 140;  ///< one-way beacon
+}  // namespace tags
+
+struct TelemetryConfig {
+  /// Collector addresses to publish to; empty disables the exporter.
+  std::vector<simnet::Address> collectors;
+  /// Export cadence (the "default cadence" the bench overhead guard pins).
+  SimDuration period = duration::seconds(1);
+  /// Every Nth beacon is a full snapshot (resync point after loss).
+  std::uint32_t full_every = 16;
+  /// Flight entries per beacon, newest win.
+  std::size_t max_flight = 64;
+};
+
+/// Periodically publishes this process's telemetry to the configured
+/// collectors.  The timer is weak (housekeeping must not keep a simulation
+/// alive); ticks are skipped while the host is down and resume after a
+/// revival, with the accumulated deltas riding the next beacon.
+class TelemetryExporter {
+ public:
+  /// `registry`/`flight` default to the process-wide globals; a simulation
+  /// hosting many exporters in one process passes per-host instances.
+  TelemetryExporter(transport::RpcEndpoint& rpc, TelemetryConfig config,
+                    obs::MetricsRegistry* registry = nullptr,
+                    obs::FlightRecorder* flight = nullptr);
+
+  /// Schedules the first tick one period out.  Idempotent.
+  void start();
+  void stop() { running_ = false; }
+  bool running() const { return running_; }
+
+  std::uint64_t beacons_sent() const { return beacons_sent_; }
+
+ private:
+  void tick();
+
+  transport::RpcEndpoint& rpc_;
+  simnet::Engine& engine_;
+  TelemetryConfig config_;
+  obs::BeaconBuilder builder_;
+  obs::Counter* beacons_counter_;  ///< "telemetry.beacons_sent"
+  obs::Counter* bytes_counter_;    ///< "telemetry.beacon_bytes"
+  bool running_ = false;
+  std::uint64_t beacons_sent_ = 0;
+};
+
+/// Serves the beacon tag on an RPC endpoint and folds every beacon into a
+/// FleetStore.  Purely reactive: no timers, no per-host state machines — a
+/// silent host costs nothing and is reported stale at query time.
+class TelemetryCollector {
+ public:
+  explicit TelemetryCollector(transport::RpcEndpoint& rpc,
+                              obs::FleetStore::Options options = {});
+
+  obs::FleetStore& store() { return store_; }
+  const obs::FleetStore& store() const { return store_; }
+
+  std::uint64_t beacons_received() const { return beacons_received_; }
+  std::uint64_t beacons_malformed() const { return beacons_malformed_; }
+
+ private:
+  transport::RpcEndpoint& rpc_;
+  obs::FleetStore store_;
+  std::uint64_t beacons_received_ = 0;
+  std::uint64_t beacons_malformed_ = 0;
+  Logger log_;
+};
+
+}  // namespace snipe::daemon

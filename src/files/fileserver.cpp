@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/trace.hpp"
 #include "util/uri.hpp"
 
 namespace snipe::files {
@@ -78,6 +79,13 @@ FileServer::FileServer(simnet::Host& host, std::vector<simnet::Address> rc_repli
     if (!id || !chunk) return;
     auto it = sinks_.find(id.value());
     if (it == sinks_.end()) return;
+    // Still inside srudp's delivery handler: link the chunk ingest into the
+    // carrying message's flow so `trace <id>` shows where the bytes landed.
+    auto& tracer = obs::Tracer::global();
+    if (tracer.flow_enabled() && rpc_.srudp().last_delivered_flow() != 0)
+      tracer.flow(obs::TraceEvent::Phase::flow_step, "flow", "files.sink_chunk_rx",
+                  rpc_.srudp().last_delivered_flow(),
+                  {{"lifn", it->second.lifn}, {"bytes", std::to_string(chunk.value().size())}});
     it->second.data.insert(it->second.data.end(), chunk.value().begin(), chunk.value().end());
   });
 
@@ -112,13 +120,20 @@ FileServer::FileServer(simnet::Host& host, std::vector<simnet::Address> rc_repli
                simnet::Address dst{dst_host.value(), dst_port.value()};
                std::size_t total = content.size();
                std::size_t offset = 0;
+               auto& tracer = obs::Tracer::global();
                do {
                  std::size_t n = std::min(config_.chunk, total - offset);
                  ByteWriter w;
                  w.u64(read_id.value());
                  w.u64(total);
                  w.blob(Bytes(content.begin() + offset, content.begin() + offset + n));
-                 rpc_.notify(dst, tags::kSourceData, std::move(w).take());
+                 std::uint64_t flow = rpc_.notify(dst, tags::kSourceData, std::move(w).take());
+                 if (tracer.flow_enabled())
+                   tracer.flow(obs::TraceEvent::Phase::flow_step, "flow", "files.source_chunk",
+                               flow,
+                               {{"lifn", lifn.value()},
+                                {"offset", std::to_string(offset)},
+                                {"bytes", std::to_string(n)}});
                  offset += n;
                } while (offset < total);
                ByteWriter w;
@@ -242,7 +257,13 @@ void FileServer::repair_file(const std::string& lifn) {
                  if (peer_host == nullptr || !peer_host->up()) continue;
                  ++stats_.repairs;
                  --needed;
-                 rpc_.call(peer, tags::kReplicate, body, [](Result<Bytes>) {});
+                 std::uint64_t flow =
+                     rpc_.call(peer, tags::kReplicate, body, [](Result<Bytes>) {});
+                 auto& tracer = obs::Tracer::global();
+                 if (tracer.flow_enabled())
+                   tracer.flow(obs::TraceEvent::Phase::flow_step, "flow",
+                               "files.repair_push", flow,
+                               {{"lifn", lifn}, {"peer", peer.to_string()}});
                }
              });
 }
@@ -256,11 +277,16 @@ void FileServer::replicate(const std::string& lifn) {
   w.str(lifn);
   w.blob(it->second);
   Bytes body = std::move(w).take();
+  auto& tracer = obs::Tracer::global();
   for (int i = 0; i < copies_needed && i < static_cast<int>(peers_.size()); ++i) {
     ++stats_.replicas_pushed;
-    rpc_.call(peers_[i], tags::kReplicate, body, [this, lifn](Result<Bytes> r) {
-      if (!r) log_.warn("replication of ", lifn, " failed: ", r.error().to_string());
-    });
+    std::uint64_t flow =
+        rpc_.call(peers_[i], tags::kReplicate, body, [this, lifn](Result<Bytes> r) {
+          if (!r) log_.warn("replication of ", lifn, " failed: ", r.error().to_string());
+        });
+    if (tracer.flow_enabled())
+      tracer.flow(obs::TraceEvent::Phase::flow_step, "flow", "files.replicate_push", flow,
+                  {{"lifn", lifn}, {"peer", peers_[i].to_string()}});
   }
 }
 
@@ -280,6 +306,11 @@ FileClient::FileClient(transport::RpcEndpoint& rpc, std::vector<simnet::Address>
     if (!id || !total || !chunk) return;
     auto it = reads_.find(id.value());
     if (it == reads_.end()) return;
+    auto& tracer = obs::Tracer::global();
+    if (tracer.flow_enabled() && rpc_.srudp().last_delivered_flow() != 0)
+      tracer.flow(obs::TraceEvent::Phase::flow_step, "flow", "files.source_chunk_rx",
+                  rpc_.srudp().last_delivered_flow(),
+                  {{"lifn", it->second.lifn}, {"bytes", std::to_string(chunk.value().size())}});
     PendingRead& read = it->second;
     read.total = total.value();
     read.data.insert(read.data.end(), chunk.value().begin(), chunk.value().end());
@@ -315,13 +346,21 @@ void FileClient::write(const simnet::Address& server, const std::string& lifn, B
                 return;
               }
               // Stream the content as SNIPE messages to the sink (§5.9).
+              auto& tracer = obs::Tracer::global();
               std::size_t offset = 0;
               do {
                 std::size_t n = std::min(chunk_, content.size() - offset);
                 ByteWriter w;
                 w.u64(id.value());
                 w.blob(Bytes(content.begin() + offset, content.begin() + offset + n));
-                rpc_.notify(server, tags::kSinkData, std::move(w).take());
+                std::uint64_t flow =
+                    rpc_.notify(server, tags::kSinkData, std::move(w).take());
+                if (tracer.flow_enabled())
+                  tracer.flow(obs::TraceEvent::Phase::flow_step, "flow", "files.sink_chunk",
+                              flow,
+                              {{"sink", std::to_string(id.value())},
+                               {"offset", std::to_string(offset)},
+                               {"bytes", std::to_string(n)}});
                 offset += n;
               } while (offset < content.size());
               ByteWriter close;

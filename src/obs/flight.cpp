@@ -2,6 +2,7 @@
 
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 
 #include "obs/trace.hpp"
 #include "util/time.hpp"
@@ -13,8 +14,18 @@ FlightRecorder::FlightRecorder(std::size_t capacity)
   ring_.reserve(capacity_);
 }
 
+std::size_t FlightRecorder::capacity_from_env(const char* value) {
+  if (value == nullptr || *value == '\0') return kDefaultCapacity;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(value, &end, 0);
+  if (end == value || v == 0) return kDefaultCapacity;
+  return static_cast<std::size_t>(v);
+}
+
 FlightRecorder& FlightRecorder::global() {
-  static FlightRecorder* instance = new FlightRecorder();  // intentionally leaked
+  static FlightRecorder* instance = [] {  // intentionally leaked
+    return new FlightRecorder(capacity_from_env(std::getenv("SNIPE_FLIGHT_CAPACITY")));
+  }();
   return *instance;
 }
 
@@ -91,6 +102,11 @@ std::size_t FlightRecorder::size() const {
 std::uint64_t FlightRecorder::dropped() const {
   std::lock_guard<std::mutex> lock(mu_);
   return dropped_;
+}
+
+std::uint64_t FlightRecorder::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<std::uint64_t>(size_) + dropped_;
 }
 
 std::string FlightRecorder::dump(const std::string& host) const {

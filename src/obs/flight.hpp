@@ -29,13 +29,22 @@ struct FlightEvent {
 
 class FlightRecorder {
  public:
-  explicit FlightRecorder(std::size_t capacity = 4096);
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  explicit FlightRecorder(std::size_t capacity = kDefaultCapacity);
 
   FlightRecorder(const FlightRecorder&) = delete;
   FlightRecorder& operator=(const FlightRecorder&) = delete;
 
-  /// The process-wide recorder every component reports into.
+  /// The process-wide recorder every component reports into.  Its ring
+  /// capacity is kDefaultCapacity unless SNIPE_FLIGHT_CAPACITY is set in
+  /// the environment (any strtoull base; read once, at first use).
   static FlightRecorder& global();
+
+  /// Parses a SNIPE_FLIGHT_CAPACITY value: any strtoull base, falling back
+  /// to kDefaultCapacity on null/empty/non-numeric/zero.  Exposed so the
+  /// env contract is unit-testable without racing global()'s one-shot read.
+  static std::size_t capacity_from_env(const char* value);
 
   void set_enabled(bool enabled);
   bool enabled() const;
@@ -56,6 +65,9 @@ class FlightRecorder {
   std::vector<FlightEvent> events(const std::string& host = {}) const;
   std::size_t size() const;
   std::uint64_t dropped() const;
+  /// Events ever recorded (size() + dropped()); the telemetry exporter's
+  /// cursor for "what is new since the last beacon".
+  std::uint64_t total_recorded() const;
 
   /// Human-readable dump, one "12.345678s [host] cat/what detail" line per
   /// event, newest last; says so when empty.

@@ -188,6 +188,24 @@ Snapshot MetricsRegistry::snapshot() const {
   return out;
 }
 
+std::vector<HistogramBuckets> MetricsRegistry::histogram_buckets() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<HistogramBuckets> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramBuckets b;
+    b.name = name;
+    b.bounds = h->bounds_;
+    b.buckets.reserve(h->buckets_.size());
+    for (const auto& bucket : h->buckets_)
+      b.buckets.push_back(bucket.load(std::memory_order_relaxed));
+    b.count = h->count();
+    b.sum = h->sum();
+    out.push_back(std::move(b));
+  }
+  return out;
+}
+
 std::string MetricsRegistry::format_text() const {
   std::string out;
   char line[256];

@@ -165,6 +165,17 @@ struct MetricValue {
 
 using Snapshot = std::vector<MetricValue>;
 
+/// Raw bucket view of one histogram — the mergeable form the fleet
+/// telemetry exporter ships (obs/fleet.hpp).  `buckets` has
+/// bounds.size() + 1 entries, the +inf tail last.
+struct HistogramBuckets {
+  std::string name;
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> buckets;
+  std::uint64_t count = 0;
+  double sum = 0;
+};
+
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
@@ -197,6 +208,10 @@ class MetricsRegistry {
   /// Consistent view of every instrument, sorted by name.  Sources and
   /// retained totals merge into counter entries.
   Snapshot snapshot() const;
+
+  /// Every histogram as its raw bucket array, sorted by name (the form a
+  /// telemetry beacon carries so collectors can merge exactly).
+  std::vector<HistogramBuckets> histogram_buckets() const;
 
   /// Plain-text scrape format for consoles: one "name value" line per
   /// counter/gauge, one "name count=N sum=S p50=.. p95=.. p99=.." line per

@@ -114,8 +114,14 @@ void RcServer::broadcast_update(const std::string& uri,
                                 const std::vector<Assertion>& assertions) {
   if (peers_.empty()) return;
   Bytes update = encode_update(uri, assertions);
+  auto& tracer = obs::Tracer::global();
   for (const auto& peer : peers_) {
-    rpc_.notify(peer, tags::kReplicate, update);
+    std::uint64_t flow = rpc_.notify(peer, tags::kReplicate, update);
+    if (tracer.flow_enabled())
+      tracer.flow(obs::TraceEvent::Phase::flow_step, "flow", "rcds.replicate", flow,
+                  {{"uri", uri},
+                   {"peer", peer.to_string()},
+                   {"assertions", std::to_string(assertions.size())}});
     ++stats_.replicated_out;
   }
 }
@@ -167,6 +173,14 @@ void RcServer::handle_replicate(const Bytes& body) {
     log_.warn("malformed replicate payload");
     return;
   }
+  // Inside srudp's delivery handler: link the merge into the carrying
+  // message's flow so a `trace` of the write shows the replica fan-out land.
+  auto& tracer = obs::Tracer::global();
+  if (tracer.flow_enabled() && rpc_.srudp().last_delivered_flow() != 0)
+    tracer.flow(obs::TraceEvent::Phase::flow_step, "flow", "rcds.replicate_rx",
+                rpc_.srudp().last_delivered_flow(),
+                {{"uri", update.value().first},
+                 {"assertions", std::to_string(update.value().second.size())}});
   Record& record = store_[update.value().first];
   // Replication lag: virtual time from the originating server's stamp to
   // this replica merging the assertion.
@@ -231,21 +245,33 @@ void RcServer::anti_entropy_tick() {
     w.str(uri);
     w.i64(record.latest());
   }
-  rpc_.call(peer, tags::kSyncDigest, std::move(w).take(), [this](Result<Bytes> response) {
-    if (!response) return;  // peer down; next round will try another
-    ByteReader r(response.value());
-    auto count = r.u32();
-    if (!count) return;
-    for (std::uint32_t i = 0; i < count.value(); ++i) {
-      auto blob = r.blob();
-      if (!blob) return;
-      auto update = decode_update(blob.value());
-      if (!update) return;
-      Record& record = store_[update.value().first];
-      for (const auto& a : update.value().second)
-        if (record.merge(a)) ++stats_.anti_entropy_repairs;
-    }
-  });
+  std::uint64_t flow =
+      rpc_.call(peer, tags::kSyncDigest, std::move(w).take(), [this](Result<Bytes> response) {
+        if (!response) return;  // peer down; next round will try another
+        ByteReader r(response.value());
+        auto count = r.u32();
+        if (!count) return;
+        std::uint64_t repaired = 0;
+        for (std::uint32_t i = 0; i < count.value(); ++i) {
+          auto blob = r.blob();
+          if (!blob) return;
+          auto update = decode_update(blob.value());
+          if (!update) return;
+          Record& record = store_[update.value().first];
+          for (const auto& a : update.value().second)
+            if (record.merge(a)) ++stats_.anti_entropy_repairs, ++repaired;
+        }
+        auto& tracer = obs::Tracer::global();
+        if (repaired > 0 && tracer.flow_enabled() &&
+            rpc_.srudp().last_delivered_flow() != 0)
+          tracer.flow(obs::TraceEvent::Phase::flow_step, "flow", "rcds.anti_entropy_repair",
+                      rpc_.srudp().last_delivered_flow(),
+                      {{"assertions", std::to_string(repaired)}});
+      });
+  auto& tracer = obs::Tracer::global();
+  if (tracer.flow_enabled())
+    tracer.flow(obs::TraceEvent::Phase::flow_step, "flow", "rcds.anti_entropy", flow,
+                {{"peer", peer.to_string()}, {"uris", std::to_string(store_.size())}});
 }
 
 }  // namespace snipe::rcds

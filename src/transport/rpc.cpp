@@ -22,8 +22,8 @@ Bytes RpcEndpoint::authenticator(const Bytes& payload) const {
   return Bytes(digest.begin(), digest.end());
 }
 
-void RpcEndpoint::call(const simnet::Address& dst, std::uint32_t tag, Bytes body,
-                       ResponseHandler done, SimDuration timeout) {
+std::uint64_t RpcEndpoint::call(const simnet::Address& dst, std::uint32_t tag, Bytes body,
+                                ResponseHandler done, SimDuration timeout) {
   if (timeout <= 0) timeout = config_.default_timeout;
   std::uint64_t id = next_call_id_++;
 
@@ -47,14 +47,16 @@ void RpcEndpoint::call(const simnet::Address& dst, std::uint32_t tag, Bytes body
   std::uint64_t msg_id = srudp_.send(dst, std::move(w).take());
   // Link the rpc layer into the request message's transport flow: the flow
   // id is deterministic, so recomputing it here matches what srudp minted.
+  std::uint64_t flow =
+      mint_flow(srudp_.address().host, srudp_.port(), dst.host, dst.port, msg_id);
   auto& tracer = obs::Tracer::global();
   if (tracer.flow_enabled())
-    tracer.flow(obs::TraceEvent::Phase::flow_step, "flow", "rpc.call",
-                mint_flow(srudp_.address().host, srudp_.port(), dst.host, dst.port, msg_id),
+    tracer.flow(obs::TraceEvent::Phase::flow_step, "flow", "rpc.call", flow,
                 {{"tag", std::to_string(tag)}, {"id", std::to_string(id)}});
+  return flow;
 }
 
-void RpcEndpoint::notify(const simnet::Address& dst, std::uint32_t tag, Bytes body) {
+std::uint64_t RpcEndpoint::notify(const simnet::Address& dst, std::uint32_t tag, Bytes body) {
   ByteWriter w;
   w.u8(static_cast<std::uint8_t>(Kind::oneway));
   w.u64(0);
@@ -62,7 +64,8 @@ void RpcEndpoint::notify(const simnet::Address& dst, std::uint32_t tag, Bytes bo
   w.blob(body);
   w.blob(authenticator(body));
   ++stats_.notifications_sent;
-  srudp_.send(dst, std::move(w).take());
+  std::uint64_t msg_id = srudp_.send(dst, std::move(w).take());
+  return mint_flow(srudp_.address().host, srudp_.port(), dst.host, dst.port, msg_id);
 }
 
 void RpcEndpoint::send_reply(const simnet::Address& src, std::uint64_t id, std::uint32_t tag,

@@ -97,12 +97,15 @@ class RpcEndpoint {
   }
 
   /// Issues a request; `done` fires exactly once with the response body,
-  /// a server-reported error, or Errc::timeout.
-  void call(const simnet::Address& dst, std::uint32_t tag, Bytes body, ResponseHandler done,
-            SimDuration timeout = 0);
+  /// a server-reported error, or Errc::timeout.  Returns the transport flow
+  /// id of the request message so callers can link their own trace steps to
+  /// the causal flow (`trace <id>` on the console).
+  std::uint64_t call(const simnet::Address& dst, std::uint32_t tag, Bytes body,
+                     ResponseHandler done, SimDuration timeout = 0);
 
-  /// Fire-and-forget (still reliably transported) notification.
-  void notify(const simnet::Address& dst, std::uint32_t tag, Bytes body);
+  /// Fire-and-forget (still reliably transported) notification.  Returns
+  /// the flow id of the carrying message, same as call().
+  std::uint64_t notify(const simnet::Address& dst, std::uint32_t tag, Bytes body);
 
   simnet::Address address() const { return srudp_.address(); }
   simnet::Host& host() { return srudp_.host(); }

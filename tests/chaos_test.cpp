@@ -126,6 +126,7 @@ TEST(ChaosSrudp, GauntletExactlyOnceInOrderAcrossSeeds) {
     // Replay: the same seed must reproduce the identical virtual-time run.
     GauntletResult replay = run_srudp_gauntlet(seed);
     EXPECT_EQ(first.digest, replay.digest) << "seed " << seed << " did not replay";
+    chaos::log_digest("srudp_gauntlet", seed, first.digest);
   }
 }
 
@@ -208,6 +209,7 @@ TEST(ChaosSrudp, CorruptionDamageIsBoundedAndReplaysExactly) {
     EXPECT_LE(first.got_sizes.size(), first.sent_sizes.size() + 2) << "seed " << seed;
     CorruptionResult replay = run_srudp_corruption(seed);
     EXPECT_EQ(first.digest, replay.digest) << "seed " << seed << " did not replay";
+    chaos::log_digest("srudp_corruption", seed, first.digest);
   }
 }
 
@@ -587,6 +589,92 @@ TEST(ChaosFlight, DumpAfterFaultedRunContainsInjectedFaults) {
   EXPECT_NE(a_only.find("srudp/rto"), std::string::npos);
   // Network-level fault events carry no host and match every filter.
   EXPECT_NE(a_only.find("fault/partition.start"), std::string::npos);
+}
+
+// ---- fleet telemetry: the exporter must not perturb the replay digest ------
+//
+// The telemetry plane's determinism contract (src/daemon/telemetry.hpp):
+// beacons ride loss-free management links (no RNG draws — Rng::chance(0)
+// consumes nothing), emit trace events only in the "telemetry" category,
+// and never shift any other component's timestamps.  So a chaos run with
+// exporters+collector attached must produce the *bit-identical* digest of
+// a run without them, once "telemetry" (and "flow", as ever) is excluded.
+// The data hosts share only the lossy lan — each reaches the collector
+// over its own private management link, so beacons cannot even contend
+// with data traffic for egress bandwidth after a route failover.
+
+std::string run_fleet_gauntlet(std::uint64_t seed, bool exporter_on) {
+  obs::Tracer::global().clear();
+  World world(seed);
+  world.create_network("lan", simnet::ethernet100());
+  world.create_network("mgmt_a", simnet::ethernet100());
+  world.create_network("mgmt_b", simnet::ethernet100());
+  world.attach(world.create_host("a"), *world.network("lan"));
+  world.attach(world.create_host("b"), *world.network("lan"));
+  world.attach(world.create_host("coll"), *world.network("mgmt_a"));
+  world.attach(*world.host("coll"), *world.network("mgmt_b"));
+  world.attach(*world.host("a"), *world.network("mgmt_a"));
+  world.attach(*world.host("b"), *world.network("mgmt_b"));
+
+  transport::SrudpEndpoint sender(*world.host("a"), 7000);
+  transport::SrudpEndpoint receiver(*world.host("b"), 7000);
+  std::uint64_t delivered = 0;
+  receiver.set_handler([&delivered](const Address&, Payload) { ++delivered; });
+
+  FaultPlan plan(world, seed * 0x9E3779B97F4A7C15ULL + 5);
+  FaultProfile profile;
+  profile.burst = {0.02, 0.25, 0.02, 0.5};
+  profile.duplicate = 0.03;
+  profile.reorder = 0.05;
+  plan.inject("lan", profile);
+
+  std::unique_ptr<transport::RpcEndpoint> coll_rpc;
+  std::unique_ptr<daemon::TelemetryCollector> collector;
+  std::vector<std::unique_ptr<transport::RpcEndpoint>> exporter_rpcs;
+  std::vector<std::unique_ptr<daemon::TelemetryExporter>> exporters;
+  if (exporter_on) {
+    coll_rpc = std::make_unique<transport::RpcEndpoint>(*world.host("coll"), 7300);
+    collector = std::make_unique<daemon::TelemetryCollector>(*coll_rpc);
+    for (const char* h : {"a", "b"}) {
+      auto rpc = std::make_unique<transport::RpcEndpoint>(*world.host(h), 7400);
+      daemon::TelemetryConfig cfg;
+      cfg.collectors = {coll_rpc->address()};
+      cfg.period = duration::milliseconds(500);
+      auto exporter = std::make_unique<daemon::TelemetryExporter>(*rpc, cfg);
+      exporter->start();
+      exporter_rpcs.push_back(std::move(rpc));
+      exporters.push_back(std::move(exporter));
+    }
+  }
+
+  const Address dst{"b", 7000};
+  for (std::uint32_t i = 0; i < 25; ++i) {
+    Bytes payload = chaos::chaos_payload(600 + 37 * i, seed, i);
+    world.engine().schedule_at(
+        duration::milliseconds(40) * i,
+        [&sender, dst, payload = std::move(payload)]() mutable {
+          sender.send(dst, std::move(payload));
+        });
+  }
+  world.engine().run_until(duration::seconds(20));
+
+  if (exporter_on) {
+    // The plane must actually have run for the comparison to mean anything.
+    EXPECT_EQ(collector->store().host_count(), 2u) << "seed " << seed;
+    EXPECT_GT(collector->beacons_received(), 0u) << "seed " << seed;
+  }
+  return chaos::trace_digest(std::vector<std::string>{"flow", "telemetry"}) +
+         "|delivered=" + std::to_string(delivered);
+}
+
+TEST(ChaosTrace, TelemetryExporterPreservesReplayDigests) {
+  for (int i = 0; i < 3; ++i) {
+    std::uint64_t seed = chaos::chaos_seed() + 900 + static_cast<std::uint64_t>(i);
+    std::string off = run_fleet_gauntlet(seed, false);
+    std::string on = run_fleet_gauntlet(seed, true);
+    EXPECT_EQ(off, on) << "seed " << seed << ": exporter perturbed the run";
+    chaos::log_digest("fleet_gauntlet", seed, on);
+  }
 }
 
 /// When any chaos invariant trips, print the flight recorder so the CI log

@@ -9,6 +9,7 @@
 // reproduce a CI failure locally with the exact same runs.
 #pragma once
 
+#include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <string>
@@ -65,6 +66,50 @@ inline std::string trace_digest(const std::string& exclude_cat = {}) {
     out += ';';
   }
   return out;
+}
+
+/// Multi-category variant: the fleet-telemetry determinism test compares an
+/// exporter-on run against an exporter-off run, which must match once both
+/// the "flow" and "telemetry" categories are set aside.
+inline std::string trace_digest(const std::vector<std::string>& exclude_cats) {
+  std::string out;
+  for (const auto& e : obs::Tracer::global().events()) {
+    bool excluded = false;
+    for (const auto& cat : exclude_cats)
+      if (e.cat == cat) {
+        excluded = true;
+        break;
+      }
+    if (excluded) continue;
+    out += std::to_string(e.ts);
+    out += ':';
+    out += e.cat;
+    out += '/';
+    out += e.name;
+    out += ';';
+  }
+  return out;
+}
+
+/// Appends one "<seed> <scenario> <fnv1a(digest)>" line to the file named
+/// by SNIPE_CHAOS_DIGEST_LOG (no-op when unset).  chaos_soak.sh points the
+/// sweep's runs at one log so cross-seed digest drift — a scenario whose
+/// fingerprint changes between soak runs of the *same* seed — is diffable
+/// after the fact without storing full digests.
+inline void log_digest(const std::string& scenario, std::uint64_t seed,
+                       const std::string& digest) {
+  const char* path = std::getenv("SNIPE_CHAOS_DIGEST_LOG");
+  if (path == nullptr || *path == '\0') return;
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : digest) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  if (std::FILE* f = std::fopen(path, "a")) {
+    std::fprintf(f, "%llu %s %016llx\n", static_cast<unsigned long long>(seed),
+                 scenario.c_str(), static_cast<unsigned long long>(h));
+    std::fclose(f);
+  }
 }
 
 /// Snapshot value of one counter-like metric in the global registry

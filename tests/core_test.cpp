@@ -548,5 +548,103 @@ TEST_F(CoreFixture, OpsGatewayServesMetricsHealthFlightAndTrace) {
   EXPECT_NE(text.find("\r\n\r\nnot found: /nope"), std::string::npos);
 }
 
+TEST_F(CoreFixture, OpsGatewayParsingEdgeCasesAndFleetRoutes) {
+  auto ops_proc = make_process("hostA", "ops");
+  OpsGateway ops(*ops_proc, "http://ops2.utk.edu/");
+  world.engine().run();
+
+  auto get = [&](const std::string& path) {
+    HttpRequest req;
+    req.path = path;
+    return ops.handle(req);
+  };
+
+  // "?prefix=" with an empty value is the unfiltered scrape, not an error.
+  auto all = get("/metrics?prefix=");
+  EXPECT_EQ(all.status, 200);
+  EXPECT_NE(to_string(all.body).find("srudp."), std::string::npos);
+
+  // Unknown host filter: 200 with the says-so text, not a 404.
+  auto ghost = get("/flight?host=no-such-host");
+  EXPECT_EQ(ghost.status, 200);
+  EXPECT_NE(to_string(ghost.body).find("no flight events"), std::string::npos);
+
+  // Malformed ?id=: missing and empty both yield the usage 400; a
+  // non-numeric id is a legal msg-id query that matches nothing.
+  EXPECT_EQ(get("/trace?id=").status, 400);
+  EXPECT_EQ(get("/trace").status, 400);
+  auto noflow = get("/trace?id=bogus");
+  EXPECT_EQ(noflow.status, 200);
+  EXPECT_NE(to_string(noflow.body).find("no flow events"), std::string::npos);
+
+  // /fleet/* before a collector is attached: 404 saying so.
+  auto unattached = get("/fleet/health");
+  EXPECT_EQ(unattached.status, 404);
+  EXPECT_NE(to_string(unattached.body).find("no fleet collector"), std::string::npos);
+
+  // With a store attached the fleet surface answers from collected beacons.
+  obs::FleetStore store;
+  obs::TelemetryBeacon beacon;
+  beacon.host = "hostX";
+  beacon.seq = 1;
+  beacon.ts = 1'000'000'000;
+  beacon.period_ns = 1'000'000'000;
+  beacon.full = true;
+  beacon.counters = {{"srudp.fragments_sent", 10}};
+  store.apply(beacon, beacon.ts);
+  ops.set_fleet(&store);
+
+  auto fleet_metrics = get("/fleet/metrics?prefix=srudp.");
+  EXPECT_EQ(fleet_metrics.status, 200);
+  EXPECT_NE(to_string(fleet_metrics.body).find("srudp.fragments_sent"),
+            std::string::npos);
+  auto fleet_filtered = get("/fleet/metrics?prefix=zzz.");
+  EXPECT_EQ(fleet_filtered.status, 200);
+  EXPECT_NE(to_string(fleet_filtered.body).find("no fleet metrics"), std::string::npos);
+  auto fleet_health = get("/fleet/health");
+  EXPECT_EQ(fleet_health.status, 200);
+  EXPECT_NE(to_string(fleet_health.body).find("fleet hosts: 1"), std::string::npos)
+      << to_string(fleet_health.body);
+  // Unknown host filter and malformed ?n= degrade gracefully, not 4xx.
+  auto fleet_ghost = get("/fleet/flight?host=no-such-host");
+  EXPECT_EQ(fleet_ghost.status, 200);
+  EXPECT_NE(to_string(fleet_ghost.body).find("no fleet flight events"),
+            std::string::npos);
+  EXPECT_EQ(get("/fleet/top?n=bogus").status, 200);
+  EXPECT_EQ(get("/fleet/nope").status, 404);
+}
+
+TEST_F(CoreFixture, ConsoleFleetVerbs) {
+  auto console_proc = make_process("hostC", "console");
+  Console console(*console_proc);
+  auto run_command = [&](const std::string& line) {
+    std::string out;
+    console.interpret(line, [&](std::string reply) { out = std::move(reply); });
+    world.engine().run();
+    return out;
+  };
+
+  EXPECT_NE(run_command("fleet health").find("no collector"), std::string::npos);
+
+  obs::FleetStore store;
+  obs::TelemetryBeacon beacon;
+  beacon.host = "hostX";
+  beacon.seq = 1;
+  beacon.ts = 2'000'000'000;
+  beacon.period_ns = 1'000'000'000;
+  beacon.full = true;
+  beacon.counters = {{"srudp.fragments_sent", 8}, {"srudp.fragments_retransmitted", 2}};
+  store.apply(beacon, beacon.ts);
+  console.set_fleet(&store);
+
+  EXPECT_NE(run_command("fleet metrics srudp.").find("srudp.fragments_sent"),
+            std::string::npos);
+  EXPECT_NE(run_command("fleet health").find("fleet hosts: 1"), std::string::npos);
+  EXPECT_NE(run_command("fleet flight").find("fleet flight empty"), std::string::npos);
+  EXPECT_NE(run_command("fleet top").find("retransmit_ratio"), std::string::npos);
+  EXPECT_NE(run_command("fleet bogus").find("usage"), std::string::npos);
+  EXPECT_NE(run_command("bogus").find("fleet <sub>"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace snipe::core

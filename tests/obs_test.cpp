@@ -581,6 +581,53 @@ TEST(Flight, TimestampsComeFromTraceClock) {
   EXPECT_EQ(f.events()[0].ts, 123'456'789);
 }
 
+TEST(Flight, CapacityIsConfigurableAndResizeClears) {
+  FlightRecorder f(3);
+  EXPECT_EQ(f.capacity(), 3u);
+  for (int n = 0; n < 5; ++n) f.record("a", "test", "e" + std::to_string(n));
+  EXPECT_EQ(f.size(), 3u);
+  EXPECT_EQ(f.dropped(), 2u);
+  EXPECT_EQ(f.total_recorded(), 5u);
+  auto events = f.events();
+  ASSERT_EQ(events.size(), 3u);  // oldest-first survivors: e2 e3 e4
+  for (int n = 0; n < 3; ++n) EXPECT_EQ(events[n].what, "e" + std::to_string(2 + n));
+
+  // Growing (or shrinking) the ring restarts it: no stale tail, no carried
+  // dropped count — the telemetry cursor (total_recorded) restarts too.
+  f.set_capacity(8);
+  EXPECT_EQ(f.capacity(), 8u);
+  EXPECT_EQ(f.size(), 0u);
+  EXPECT_EQ(f.dropped(), 0u);
+  EXPECT_EQ(f.total_recorded(), 0u);
+  for (int n = 0; n < 10; ++n) f.record("a", "test", "f" + std::to_string(n));
+  events = f.events();
+  ASSERT_EQ(events.size(), 8u);
+  EXPECT_EQ(events.front().what, "f2");
+  EXPECT_EQ(events.back().what, "f9");
+  EXPECT_EQ(f.total_recorded(), 10u);
+
+  // Degenerate capacities clamp to 1 rather than dividing by zero.
+  f.set_capacity(0);
+  EXPECT_EQ(f.capacity(), 1u);
+  f.record("a", "test", "only");
+  f.record("a", "test", "newest");
+  ASSERT_EQ(f.events().size(), 1u);
+  EXPECT_EQ(f.events()[0].what, "newest");
+  FlightRecorder zero(0);
+  EXPECT_EQ(zero.capacity(), 1u);
+}
+
+TEST(Flight, CapacityEnvParsing) {
+  // The exact contract global() applies to SNIPE_FLIGHT_CAPACITY, testable
+  // without racing the singleton's one-shot env read.
+  EXPECT_EQ(FlightRecorder::capacity_from_env(nullptr), FlightRecorder::kDefaultCapacity);
+  EXPECT_EQ(FlightRecorder::capacity_from_env(""), FlightRecorder::kDefaultCapacity);
+  EXPECT_EQ(FlightRecorder::capacity_from_env("bogus"), FlightRecorder::kDefaultCapacity);
+  EXPECT_EQ(FlightRecorder::capacity_from_env("0"), FlightRecorder::kDefaultCapacity);
+  EXPECT_EQ(FlightRecorder::capacity_from_env("512"), 512u);
+  EXPECT_EQ(FlightRecorder::capacity_from_env("0x40"), 64u);  // any strtoull base
+}
+
 TEST(FlightDeathTest, AbortHandlerDumpsRecorder) {
   // The sanitizer/assert path: SIGABRT triggers a stderr dump of the
   // global recorder before the process dies.
