@@ -22,7 +22,7 @@ if [ "${1:-}" = "--bless" ]; then
 fi
 BUILD_DIR="${1:-build}"
 BASELINE_DIR="bench/baseline"
-BENCHES="bench_datapath bench_fig1_bandwidth"
+BENCHES="bench_datapath bench_fig1_bandwidth bench_fileserv"
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j --target $BENCHES

@@ -1,5 +1,6 @@
 #include "rcds/client.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "obs/trace.hpp"
@@ -38,39 +39,68 @@ RcClient::RcClient(transport::RpcEndpoint& rpc, std::vector<simnet::Address> rep
                    RcClientConfig config)
     : rpc_(rpc), replicas_(std::move(replicas)), config_(config) {
   assert(!replicas_.empty() && "RcClient needs at least one replica");
+  fails_.assign(replicas_.size(), 0);
   metrics_sources_.add("rcds.client.lookups", [this] { return stats_.lookups; });
   metrics_sources_.add("rcds.client.writes", [this] { return stats_.writes; });
   metrics_sources_.add("rcds.client.failovers", [this] { return stats_.failovers; });
   metrics_sources_.add("rcds.client.failures", [this] { return stats_.failures; });
 }
 
+std::size_t RcClient::healthiest() const {
+  std::size_t best = preferred_ % replicas_.size();
+  int best_fails = fails_[best];
+  for (std::size_t i = 0; i < replicas_.size(); ++i)
+    if (fails_[i] < best_fails) {
+      best = i;
+      best_fails = fails_[i];
+    }
+  return best;
+}
+
 void RcClient::get(const std::string& uri, AssertionsHandler done) {
   ++stats_.lookups;
-  attempt(tags::kGet, encode_get(uri), preferred_, static_cast<int>(replicas_.size()),
+  attempt(tags::kGet, encode_get(uri), healthiest(), static_cast<int>(replicas_.size()),
           std::move(done));
 }
 
 void RcClient::apply(const std::string& uri, std::vector<Op> ops, AssertionsHandler done) {
   ++stats_.writes;
-  attempt(tags::kApply, encode_apply(uri, ops), preferred_,
+  attempt(tags::kApply, encode_apply(uri, ops), healthiest(),
           static_cast<int>(replicas_.size()), std::move(done));
 }
 
 void RcClient::attempt(std::uint32_t tag, Bytes body, std::size_t replica_index,
                        int tries_left, AssertionsHandler done) {
   const simnet::Address replica = replicas_[replica_index % replicas_.size()];
+  std::weak_ptr<char> alive = alive_;
   rpc_.call(
       replica, tag, body,
-      [this, tag, body, replica_index, tries_left, done](Result<Bytes> response) mutable {
+      [this, alive, tag, body, replica_index, tries_left,
+       done](Result<Bytes> response) mutable {
+        if (alive.expired()) {
+          // The client died mid-call (owner migrated/shut down).  Deliver
+          // the outcome — `done` owns everything it needs — but touch no
+          // member and never retry through the dead endpoint.
+          if (!response) {
+            done(response.error());
+          } else if (auto update = decode_update(response.value()); !update) {
+            done(update.error());
+          } else {
+            done(std::move(update.value().second));
+          }
+          return;
+        }
+        const std::size_t idx = replica_index % replicas_.size();
         if (!response) {
           if (response.code() == Errc::state_error) {
             // Single-master referral: retry once directly at the master.
+            // (Not a health strike — the follower answered promptly.)
             if (auto master = referral_target(response.error().message); master.ok()) {
               rpc_.call(
                   master.value(), tag, body,
-                  [this, done](Result<Bytes> r2) {
+                  [this, alive, done](Result<Bytes> r2) {
                     if (!r2) {
-                      ++stats_.failures;
+                      if (!alive.expired()) ++stats_.failures;
                       done(r2.error());
                       return;
                     }
@@ -85,11 +115,12 @@ void RcClient::attempt(std::uint32_t tag, Bytes body, std::size_t replica_index,
               return;
             }
           }
+          fails_[idx] = std::min(fails_[idx] + 1, 8);
           if (tries_left > 1) {
             ++stats_.failovers;
             obs::Tracer::global().instant(
                 "rcds", "rcds.client_failover",
-                {{"from", replicas_[replica_index % replicas_.size()].to_string()}});
+                {{"from", replicas_[idx].to_string()}});
             preferred_ = (replica_index + 1) % replicas_.size();
             attempt(tag, std::move(body), replica_index + 1, tries_left - 1, std::move(done));
           } else {
@@ -98,6 +129,12 @@ void RcClient::attempt(std::uint32_t tag, Bytes body, std::size_t replica_index,
           }
           return;
         }
+        // Success: this replica is healthy and sticky; decay the others'
+        // strikes so a recovered replica is re-probed eventually.
+        preferred_ = idx;
+        fails_[idx] = 0;
+        for (std::size_t i = 0; i < fails_.size(); ++i)
+          if (i != idx && fails_[i] > 0) --fails_[i];
         auto update = decode_update(response.value());
         if (!update) {
           done(update.error());

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "rcds/assertion.hpp"
@@ -57,11 +58,25 @@ class RcClient {
  private:
   void attempt(std::uint32_t tag, Bytes body, std::size_t replica_index, int tries_left,
                AssertionsHandler done);
+  /// Replica new operations start at: fewest recent failures, the sticky
+  /// preference and then list order breaking ties.
+  std::size_t healthiest() const;
 
   transport::RpcEndpoint& rpc_;
   std::vector<simnet::Address> replicas_;
   RcClientConfig config_;
   std::size_t preferred_ = 0;
+  /// Recent failure count per replica (capped).  Bumped when an attempt at
+  /// that replica fails, zeroed on success; the *other* replicas decay by
+  /// one per success so a recovered replica eventually gets re-probed
+  /// instead of being shunned forever.
+  std::vector<int> fails_;
+  /// Liveness token captured (weakly) by in-flight RPC callbacks: a client
+  /// can be destroyed with operations outstanding (process migration tears
+  /// the owning SnipeProcess down mid-call), and a late response must not
+  /// touch the freed client.  The result is still delivered to `done`,
+  /// which is captured by value; only the bookkeeping is skipped.
+  std::shared_ptr<char> alive_ = std::make_shared<char>(0);
   RcClientStats stats_;
   /// Pull sources "rcds.client.*" in the global registry; declared last so
   /// they retire (fold into retained totals) before stats_ dies.

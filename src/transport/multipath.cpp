@@ -7,7 +7,20 @@
 
 namespace snipe::transport {
 
+bool MultipathPolicy::on_success(SimTime now) {
+  consecutive_timeouts_ = 0;
+  if (preferred_.empty() || probe_quiet_ <= 0 || now < 0) return false;
+  if (last_timeout_ >= 0 && now - last_timeout_ < probe_quiet_) return false;
+  // The detour has been quiet long enough: drop the explicit preference so
+  // the next send re-probes the default (fastest) route.
+  preferred_.clear();
+  ++probes_;
+  obs::MetricsRegistry::global().counter("multipath.route_probes").inc();
+  return true;
+}
+
 bool MultipathPolicy::on_timeout(simnet::Host& host) {
+  last_timeout_ = host.world()->engine().now();
   ++consecutive_timeouts_;
   if (consecutive_timeouts_ < failover_threshold_) return false;
   consecutive_timeouts_ = 0;

@@ -47,6 +47,7 @@ SrudpEndpoint::SrudpEndpoint(simnet::Host& host, std::uint16_t port, SrudpConfig
   metrics_sources_.add("srudp.bytes_delivered",
                        [this] { return stats_.bytes_delivered.v; });
   metrics_sources_.add("srudp.route_switches", [this] { return stats_.route_switches.v; });
+  metrics_sources_.add("srudp.route_probes", [this] { return stats_.route_probes.v; });
   metrics_sources_.add("srudp.checksum_rejects",
                        [this] { return stats_.checksum_rejects.v; });
 }
@@ -60,8 +61,25 @@ SrudpEndpoint::~SrudpEndpoint() {
   }
 }
 
+SrudpEndpoint::PeerOut& SrudpEndpoint::ensure_out(const simnet::Address& peer) {
+  auto [it, inserted] = out_.try_emplace(peer);
+  if (inserted)
+    it->second.path =
+        MultipathPolicy(config_.failover_threshold, config_.route_probe_quiet);
+  return it->second;
+}
+
+void SrudpEndpoint::note_route_success(const simnet::Address& peer, PeerOut& out) {
+  if (out.path.on_success(engine_.now())) {
+    ++stats_.route_probes;
+    obs::FlightRecorder::global().record(host_.name(), "multipath", "route_probe",
+                                         "peer=" + peer.to_string());
+    log_.debug("re-probing default route to ", peer.to_string());
+  }
+}
+
 std::uint64_t SrudpEndpoint::send(const simnet::Address& dst, Payload message) {
-  auto& out = out_[dst];
+  auto& out = ensure_out(dst);
   if (out.rto == 0) out.rto = config_.initial_rto;
 
   OutMessage msg;
@@ -171,7 +189,7 @@ void SrudpEndpoint::raw_send(const simnet::Address& peer, PeerOut* out, Payload 
 }
 
 void SrudpEndpoint::arm_rto(const simnet::Address& peer) {
-  PeerOut& out = out_[peer];
+  PeerOut& out = ensure_out(peer);
   if (out.rto_timer.valid()) return;
   out.rto_timer = engine_.schedule(out.rto, [this, peer] {
     out_[peer].rto_timer = simnet::TimerId{};
@@ -515,7 +533,7 @@ void SrudpEndpoint::on_status(const simnet::Address& peer, const StatusPacket& p
       // nothing is a receiver stall report and must NOT reset the failover
       // counter — it can arrive over a different interface than the one
       // our data is dying on.)  Restart the retransmission timer too.
-      out.path.on_success();
+      note_route_success(peer, out);
       if (out.failover_span != 0) {
         obs::Tracer::global().end_span(out.failover_span,
                                        {{"route", out.path.preferred()}});
@@ -577,7 +595,7 @@ void SrudpEndpoint::on_msg_ack(const simnet::Address& peer, std::uint64_t msg_id
       if (!bitmap_get(qit->acked, i) && i < qit->next_unsent) ++unacked_inflight;
     out.inflight -= std::min<std::size_t>(out.inflight, unacked_inflight);
     out.queue.erase(qit);
-    out.path.on_success();
+    note_route_success(peer, out);
     if (out.failover_span != 0) {
       obs::Tracer::global().end_span(out.failover_span,
                                      {{"route", out.path.preferred()}});

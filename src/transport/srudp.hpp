@@ -65,6 +65,9 @@ struct SrudpConfig {
   /// for this long (the sender evidently gave up or died).
   SimDuration partial_ttl = duration::seconds(60);
   int failover_threshold = 2;  ///< consecutive RTOs before switching routes
+  /// How long a failover route must stay timeout-free before the policy
+  /// re-probes the default (fastest) route; <= 0 pins the detour forever.
+  SimDuration route_probe_quiet = duration::seconds(10);
   /// Adds an FNV-1a payload checksum to every DATA fragment (wire type
   /// data_ck) and rejects fragments whose checksum does not verify.  Off by
   /// default: the 1998 wire format had none, and the unchecked path is the
@@ -91,6 +94,7 @@ struct SrudpStats {
   obs::Cell rto_events;
   obs::Cell bytes_delivered;
   obs::Cell route_switches;
+  obs::Cell route_probes;      ///< probe resets back to the default route
   obs::Cell checksum_rejects;  ///< data_ck fragments failing verification
 };
 
@@ -196,6 +200,12 @@ class SrudpEndpoint {
     simnet::TimerId hol_timer;
     SimTime hol_since = -1;
   };
+
+  /// out_[peer] with the MultipathPolicy configured from SrudpConfig on
+  /// first touch (failover threshold + probe-quiet period).
+  PeerOut& ensure_out(const simnet::Address& peer);
+  /// on_success with the probe-after-quiet bookkeeping (flight + stats).
+  void note_route_success(const simnet::Address& peer, PeerOut& out);
 
   void on_packet(const simnet::Packet& packet);
   void on_data(const simnet::Address& peer, const DataPacket& p);

@@ -196,6 +196,153 @@ TEST_F(FilesFixture, ReplicationDaemonRepairsLostReplica) {
   EXPECT_EQ(locations_after, 2);
 }
 
+TEST_F(FilesFixture, StripedWriteThenStripedReadRoundTrips) {
+  // 4 stripes, small chunks, a size that is not a chunk multiple: the last
+  // chunk is short and every stripe owns a different byte count.
+  FileClientConfig cfg;
+  cfg.chunk = 4096;
+  cfg.stripes = 4;
+  FileClient striped(*app_rpc, replicas(), cfg);
+  Bytes content = pattern(300'001, 7);
+  Result<void> wrote(Errc::state_error, "unset");
+  striped.write(fs1->address(), "lifn://utk.edu/striped/1", content,
+                [&](Result<void> r) { wrote = r; });
+  world.engine().run();
+  ASSERT_TRUE(wrote.ok());
+  EXPECT_EQ(fs1->read("lifn://utk.edu/striped/1").value(), content);
+
+  Result<Bytes> read(Errc::state_error, "unset");
+  striped.read("lifn://utk.edu/striped/1", [&](Result<Bytes> r) { read = r; });
+  world.engine().run();
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), content);
+  // With two live replicas, round-robin spread means both served stripes.
+  EXPECT_GE(fs1->stats().source_sessions, 1u);
+  EXPECT_GE(fs2->stats().source_sessions, 1u);
+}
+
+TEST_F(FilesFixture, StripedReadSurvivesMidStreamReplicaCrash) {
+  // The pre-stripe bug: a replica dying after kOpenSource but before the
+  // last kSourceData chunk wedged the read forever.  Now the stalled
+  // stripes' progress timers re-issue them from the survivor.
+  FileClientConfig cfg;
+  cfg.chunk = 8192;
+  cfg.stripes = 2;
+  FileClient striped(*app_rpc, replicas(), cfg);
+  Bytes content = pattern(400'000, 9);
+  striped.write(fs1->address(), "lifn://utk.edu/striped/crash", content,
+                [](Result<void>) {});
+  world.engine().run();
+  ASSERT_TRUE(fs2->has("lifn://utk.edu/striped/crash"));
+
+  Result<Bytes> read(Errc::state_error, "unset");
+  striped.read("lifn://utk.edu/striped/crash", [&](Result<Bytes> r) { read = r; });
+  // Kill fs1 while its stripe stream is in flight.
+  world.engine().schedule(duration::milliseconds(3),
+                          [&] { world.host("fs1")->set_up(false); });
+  world.engine().run_for(duration::seconds(30));
+  ASSERT_TRUE(read.ok()) << read.error().to_string();
+  EXPECT_EQ(read.value(), content);
+}
+
+TEST_F(FilesFixture, AbandonedSinkExpiresAfterTtl) {
+  // A writer opens a sink, sends part of the data, and dies.  The sink's
+  // idle TTL must reap it (pre-TTL it leaked forever) without storing the
+  // partial file.
+  ByteWriter open;
+  open.str("lifn://utk.edu/abandoned");
+  open.u64(10'000);
+  open.u32(1);
+  Result<Bytes> opened(Errc::state_error, "unset");
+  app_rpc->call(fs1->address(), tags::kOpenSink, std::move(open).take(),
+                [&](Result<Bytes> r) { opened = r; });
+  world.engine().run();
+  ASSERT_TRUE(opened.ok());
+  std::uint64_t sink_id = ByteReader(opened.value()).u64().value();
+
+  ByteWriter data;
+  data.u64(sink_id);
+  data.u64(0);
+  data.blob(pattern(1000));
+  app_rpc->notify(fs1->address(), tags::kSinkData, std::move(data).take());
+  world.engine().run();
+  EXPECT_EQ(fs1->open_sinks(), 1u);
+
+  world.engine().run_for(duration::seconds(120));  // default TTL is 60 s
+  EXPECT_EQ(fs1->open_sinks(), 0u);
+  EXPECT_GE(fs1->stats().sinks_expired, 1u);
+  EXPECT_FALSE(fs1->has("lifn://utk.edu/abandoned"));
+}
+
+TEST_F(FilesFixture, CloseSinkWithMissingBytesIsRejected) {
+  ByteWriter open;
+  open.str("lifn://utk.edu/short");
+  open.u64(5000);
+  open.u32(1);
+  Result<Bytes> opened(Errc::state_error, "unset");
+  app_rpc->call(fs1->address(), tags::kOpenSink, std::move(open).take(),
+                [&](Result<Bytes> r) { opened = r; });
+  world.engine().run();
+  ASSERT_TRUE(opened.ok());
+  std::uint64_t sink_id = ByteReader(opened.value()).u64().value();
+
+  ByteWriter data;
+  data.u64(sink_id);
+  data.u64(0);
+  data.blob(pattern(1000));
+  app_rpc->notify(fs1->address(), tags::kSinkData, std::move(data).take());
+
+  ByteWriter close;
+  close.u64(sink_id);
+  Result<Bytes> closed(Errc::state_error, "unset");
+  app_rpc->call(fs1->address(), tags::kCloseSink, std::move(close).take(),
+                [&](Result<Bytes> r) { closed = r; });
+  world.engine().run();
+  EXPECT_EQ(closed.code(), Errc::state_error);
+  EXPECT_EQ(fs1->stats().sinks_incomplete, 1u);
+  EXPECT_EQ(fs1->open_sinks(), 0u);
+  EXPECT_FALSE(fs1->has("lifn://utk.edu/short"));
+}
+
+TEST(FilesRepair, RepairDoesNotChurnWhenOnlyLivePeersRemain) {
+  // Replication factor 3 with only two servers: the target is permanently
+  // unreachable.  The old repair loop pushed a fresh copy to the *already
+  // registered* peer every tick — endless churn with no replica-count
+  // progress.  The repair pass must skip peers that are live replicas.
+  World world(47);
+  world.create_network("lan", simnet::ethernet100());
+  for (const char* name : {"rc", "fs1", "fs2", "app"})
+    world.attach(world.create_host(name), *world.network("lan"));
+  rcds::RcServer rc(*world.host("rc"));
+  FileServerConfig cfg;
+  cfg.replication_factor = 3;
+  FileServer fs1(*world.host("fs1"), {rc.address()}, FileServer::kDefaultPort, cfg);
+  FileServer fs2(*world.host("fs2"), {rc.address()}, FileServer::kDefaultPort, cfg);
+  fs1.set_peers({fs2.address()});
+  fs2.set_peers({fs1.address()});
+
+  transport::RpcEndpoint rpc(*world.host("app"), 9200);
+  FileClient client(rpc, {rc.address()});
+  client.write(fs1.address(), "lifn://utk.edu/churn", pattern(4000), [](Result<void>) {});
+  world.engine().run();
+  ASSERT_TRUE(fs2.has("lifn://utk.edu/churn"));
+  std::uint64_t received_after_write = fs2.stats().replicas_received;
+
+  world.engine().run_for(duration::seconds(90));  // several repair periods
+  EXPECT_EQ(fs1.stats().repairs, 0u);
+  EXPECT_EQ(fs2.stats().repairs, 0u);
+  EXPECT_EQ(fs2.stats().replicas_received, received_after_write);
+}
+
+TEST_F(FilesFixture, OverwriteDoesNotDoubleCountStoredBytes) {
+  fs1->store_local("lifn://utk.edu/ow", pattern(1000), /*announce=*/false);
+  EXPECT_EQ(fs1->stats().bytes_stored, 1000u);
+  fs1->store_local("lifn://utk.edu/ow", pattern(400), /*announce=*/false);
+  EXPECT_EQ(fs1->stats().bytes_stored, 400u);
+  fs1->store_local("lifn://utk.edu/ow2", pattern(50), /*announce=*/false);
+  EXPECT_EQ(fs1->stats().bytes_stored, 450u);
+}
+
 TEST_F(FilesFixture, DirectStoreFetchRpc) {
   // The plain kStore/kFetch path (used by checkpoint storage).
   ByteWriter w;

@@ -553,6 +553,35 @@ TEST(Multipath, SwitchesAfterThresholdAndResetsOnSuccess) {
   EXPECT_EQ(policy.preferred(), "atm");
 }
 
+TEST(Multipath, ProbesDefaultRouteAfterQuietPeriod) {
+  // A failover route must not be pinned forever: once the detour has been
+  // timeout-free for the quiet period, on_success drops the preference so
+  // the next send re-probes the default (fastest) route.
+  World world(1);
+  world.create_network("atm", simnet::atm155());
+  world.create_network("eth", simnet::ethernet100());
+  auto& h = world.create_host("h");
+  world.attach(h, *world.network("atm"));
+  world.attach(h, *world.network("eth"));
+
+  MultipathPolicy policy(1, duration::seconds(1));
+  EXPECT_TRUE(policy.on_timeout(h));  // threshold 1: switch immediately
+  EXPECT_EQ(policy.preferred(), "eth");
+  const SimTime switched_at = world.engine().now();
+  // Successes inside the quiet window keep the detour.
+  EXPECT_FALSE(policy.on_success(switched_at + duration::milliseconds(500)));
+  EXPECT_EQ(policy.preferred(), "eth");
+  // After a full timeout-free quiet period the preference resets.
+  EXPECT_TRUE(policy.on_success(switched_at + duration::seconds(2)));
+  EXPECT_EQ(policy.preferred(), "");
+  EXPECT_EQ(policy.probes(), 1);
+  // The legacy no-argument form only clears the failure streak.
+  EXPECT_TRUE(policy.on_timeout(h));
+  EXPECT_EQ(policy.preferred(), "eth");
+  policy.on_success();
+  EXPECT_EQ(policy.preferred(), "eth");
+}
+
 TEST(Multipath, SingleNetworkHasNowhereToGo) {
   World world(1);
   world.create_network("eth", simnet::ethernet100());
