@@ -11,6 +11,7 @@
 // Wall-clock numbers are machine-dependent; compare runs on the same box.
 #include <chrono>
 #include <cstdlib>
+#include <ctime>
 #include <new>
 
 #include <optional>
@@ -313,6 +314,117 @@ void BM_StreamDatapath(benchmark::State& state) {
 BENCHMARK(BM_StreamDatapath)
     ->Arg(65536)
     ->Arg(1 << 20)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Sharded-world sweep: the conservative-window parallel engine.
+
+/// Thread-CPU time of the calling thread; the single-shard critical path.
+std::uint64_t bench_thread_cpu_ns() {
+#if defined(__linux__)
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0)
+    return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ULL +
+           static_cast<std::uint64_t>(ts.tv_nsec);
+#endif
+  return 0;
+}
+
+/// Eight sites — worker + gateway on a per-site LAN, gateways ringed over
+/// an 18 ms WAN (the lookahead) — partitioned across range(0) shards.  The
+/// workload mirrors BM_EngineEvents (half self-rescheduling chain, half
+/// pre-scheduled scattered one-shots, ~1M events total, identical for
+/// every shard count) with a sparse data plane on top: every 256th chain
+/// step sends an intra-site datagram, every 4096th crosses the WAN.
+///
+/// Two throughput counters, both over the same event total:
+///   wall_events_per_sec      events / wall seconds.  On a box with fewer
+///                            cores than shards this measures core
+///                            contention, not the engine.
+///   critpath_events_per_sec  events / critical path, where the critical
+///                            path sums each window's slowest shard
+///                            (thread-CPU time).  This is what the wall
+///                            clock converges to given >= `shards` cores,
+///                            and the honest parallelism metric either way.
+void BM_ShardedWorld(benchmark::State& state) {
+  const std::size_t shards = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kSites = 8;
+  constexpr std::size_t kChainSteps = 60000;  // per site
+  constexpr std::size_t kScatter = 480000;    // pre-scheduled one-shots, total
+  double wall = 0;
+  double critpath_secs = 0;
+  std::uint64_t events = 0;
+  std::uint64_t windows = 0;
+  std::uint64_t cross = 0;
+  for (auto _ : state) {
+    simnet::World world(11, shards);
+    auto& wan = world.create_network("wan", simnet::wan_t3());
+    std::vector<simnet::Host*> workers, gateways;
+    for (std::size_t i = 0; i < kSites; ++i) {
+      auto& lan = world.create_network("lan" + std::to_string(i), simnet::ethernet100());
+      auto& w = world.create_host("w" + std::to_string(i), i % shards);
+      auto& g = world.create_host("g" + std::to_string(i), i % shards);
+      world.attach(w, lan);
+      world.attach(g, lan);
+      world.attach(g, wan);
+      w.bind(9, [](const simnet::Packet&) {}).value();
+      g.bind(9, [](const simnet::Packet&) {}).value();
+      workers.push_back(&w);
+      gateways.push_back(&g);
+    }
+    for (std::size_t i = 0; i < kSites; ++i) {
+      simnet::Host* w = workers[i];
+      simnet::Host* g = gateways[i];
+      const simnet::Address site_dst{"g" + std::to_string(i), 9};
+      const simnet::Address ring_dst{"g" + std::to_string((i + 1) % kSites), 9};
+      // Staggered odd-microsecond periods: sites tick at incommensurate
+      // times, so the event total is shard-count-invariant by construction.
+      const SimDuration period = duration::microseconds(59 + 2 * static_cast<SimTime>(i));
+      auto count = std::make_shared<std::size_t>(0);
+      auto step = std::make_shared<std::function<void()>>();
+      *step = [w, g, site_dst, ring_dst, period, count, step] {
+        std::size_t n = ++*count;
+        if (n % 256 == 0) w->send(site_dst, Bytes{1}).value();
+        if (n % 4096 == 0) g->send(ring_dst, Bytes{1}).value();
+        if (n < kChainSteps) w->engine().schedule(period, [step] { (*step)(); });
+      };
+      w->engine().schedule(period, [step] { (*step)(); });
+    }
+    // Scatter span well under the chain runtime: the heap starts deep and
+    // drains early, matching BM_EngineEvents' depth profile so the 1-shard
+    // number is directly comparable to the unsharded engine baseline.
+    Rng scatter(7);
+    const SimTime span = duration::milliseconds(50);
+    for (std::size_t i = 0; i < kScatter; ++i) {
+      workers[i % kSites]->engine().schedule_at(
+          1 + static_cast<SimTime>(scatter.next_below(static_cast<std::uint64_t>(span))),
+          [] {});
+    }
+    std::uint64_t cpu0 = bench_thread_cpu_ns();
+    auto start = Clock::now();
+    world.run_until(duration::seconds(5));
+    wall = seconds_since(start);
+    std::uint64_t cpu1 = bench_thread_cpu_ns();
+    events = world.events_run();
+    windows = world.run_stats().windows;
+    cross = world.run_stats().cross_shard_packets;
+    critpath_secs = shards == 1
+                        ? static_cast<double>(cpu1 - cpu0) / 1e9
+                        : static_cast<double>(world.run_stats().critical_path_ns) / 1e9;
+  }
+  state.counters["wall_events_per_sec"] = static_cast<double>(events) / wall;
+  if (critpath_secs > 0)
+    state.counters["critpath_events_per_sec"] = static_cast<double>(events) / critpath_secs;
+  state.counters["events"] = static_cast<double>(events);
+  state.counters["windows"] = static_cast<double>(windows);
+  state.counters["cross_shard_packets"] = static_cast<double>(cross);
+}
+BENCHMARK(BM_ShardedWorld)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 

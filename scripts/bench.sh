@@ -5,9 +5,19 @@
 # the repo root as BENCH_<name>.json (gitignored scratch); the baseline is
 # versioned, so the diff shows what *this* checkout changed.
 #
-# Usage: scripts/bench.sh [build-dir]      (default: build)
+# Usage: scripts/bench.sh [build-dir]      (default: build-rel)
 #        scripts/bench.sh --bless [dir]    re-run and promote the fresh
 #                                          numbers to bench/baseline/
+#
+# The bench tree must be an un-sanitized Release build: the script
+# configures it that way, then *verifies* the resulting CMakeCache.txt and
+# refuses to record numbers from anything else (a pre-existing build dir
+# can carry Debug flags or a sanitizer preset that -DCMAKE_BUILD_TYPE
+# alone does not clear).  The verified build type is stamped into each
+# benchmark JSON as context.cmake_build_type — note google-benchmark's own
+# "library_build_type" field describes the *benchmark library*, not this
+# tree, and reads "debug" even for Release runs on boxes with a debug
+# libbenchmark.
 #
 # Wall-clock counters are machine-dependent: compare runs from the same
 # box, and re-bless the baseline when switching machines.
@@ -20,17 +30,37 @@ if [ "${1:-}" = "--bless" ]; then
   BLESS=1
   shift
 fi
-BUILD_DIR="${1:-build}"
+BUILD_DIR="${1:-build-rel}"
 BASELINE_DIR="bench/baseline"
 BENCHES="bench_datapath bench_fig1_bandwidth bench_fileserv"
 
+# Refuse non-Release trees instead of silently reconfiguring them: the
+# pre-configure check keeps bench.sh from flipping a dev/debug/sanitizer
+# tree to Release under the user's feet, and the post-build re-check
+# verifies what the benchmarks will actually run from.
+assert_release_tree() {
+  [ -f "$BUILD_DIR/CMakeCache.txt" ] || return 0
+  BUILD_TYPE="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$BUILD_DIR/CMakeCache.txt")"
+  SANITIZE="$(sed -n 's/^SNIPE_SANITIZE:[^=]*=//p' "$BUILD_DIR/CMakeCache.txt")"
+  if [ "$BUILD_TYPE" != "Release" ] || [ -n "$SANITIZE" ]; then
+    echo "error: $BUILD_DIR is CMAKE_BUILD_TYPE='$BUILD_TYPE'" \
+         "SNIPE_SANITIZE='$SANITIZE' — benchmarks must run from a clean" \
+         "Release tree.  Point bench.sh at a dedicated dir (default:" \
+         "build-rel) or delete $BUILD_DIR and re-run." >&2
+    exit 1
+  fi
+}
+
+assert_release_tree
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j --target $BENCHES
+assert_release_tree
 
 for name in $BENCHES; do
   echo "==== $name ===="
   "$BUILD_DIR/bench/$name" --benchmark_out="BENCH_${name}.json" \
-    --benchmark_out_format=json
+    --benchmark_out_format=json \
+    --benchmark_context=cmake_build_type="$BUILD_TYPE"
 done
 
 if [ "$BLESS" = 1 ]; then

@@ -35,7 +35,7 @@ Result<UserMessage> UserMessage::decode(const Bytes& data) {
 SnipeProcess::SnipeProcess(simnet::Host& host, const std::string& name,
                            std::vector<simnet::Address> rc_replicas, ProcessConfig config)
     : host_(&host),
-      engine_(&host.world()->engine()),
+      engine_(&host.engine()),
       urn_(starts_with(name, "urn:") ? name : process_urn(name)),
       config_(config),
       rpc_(std::make_unique<transport::RpcEndpoint>(host, 0)),

@@ -50,7 +50,7 @@ SnipeDaemon::SnipeDaemon(simnet::Host& host, std::vector<simnet::Address> rc_rep
                          std::uint16_t port, DaemonConfig config)
     : host_(host),
       rpc_(host, port, {}),
-      engine_(host.world()->engine()),
+      engine_(host.engine()),
       config_(std::move(config)),
       rc_(rpc_, rc_replicas),
       files_(rpc_, rc_replicas),

@@ -58,7 +58,7 @@ SimDuration net_distance(simnet::World& world, const std::string& a, const std::
 FileServer::FileServer(simnet::Host& host, std::vector<simnet::Address> rc_replicas,
                        std::uint16_t port, FileServerConfig config)
     : rpc_(host, port, {}),
-      engine_(host.world()->engine()),
+      engine_(host.engine()),
       config_(config),
       rc_(rpc_, std::move(rc_replicas)),
       log_("files@" + host.name() + ":" + std::to_string(rpc_.address().port)) {

@@ -19,7 +19,7 @@ Bytes encode_msg(int source, int tag, const Bytes& data) {
 MpiWorld::MpiWorld(std::string name, const std::vector<simnet::Host*>& hosts)
     : name_(std::move(name)) {
   assert(!hosts.empty());
-  engine_ = &hosts.front()->world()->engine();
+  engine_ = &hosts.front()->engine();
   for (std::size_t i = 0; i < hosts.size(); ++i)
     ranks_.emplace_back(new MpiRank(this, static_cast<int>(i), *hosts[i]));
 }

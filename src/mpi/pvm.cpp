@@ -31,7 +31,7 @@ Result<PvmEnvelope> PvmEnvelope::decode(const Bytes& wire) {
 
 PvmDaemon::PvmDaemon(simnet::Host& host, std::uint16_t port)
     : rpc_(host, port, {}),
-      engine_(host.world()->engine()),
+      engine_(host.engine()),
       index_(0),
       log_("pvmd-master@" + host.name()) {
   daemon_table_[0] = address();
@@ -40,7 +40,7 @@ PvmDaemon::PvmDaemon(simnet::Host& host, std::uint16_t port)
 
 PvmDaemon::PvmDaemon(simnet::Host& host, const simnet::Address& master, std::uint16_t port)
     : rpc_(host, port, {}),
-      engine_(host.world()->engine()),
+      engine_(host.engine()),
       master_(std::make_unique<simnet::Address>(master)),
       log_("pvmd@" + host.name()) {
   serve();

@@ -1,7 +1,9 @@
 #include "obs/trace.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <tuple>
 
 namespace snipe::obs {
 
@@ -220,6 +222,16 @@ std::vector<TraceEvent> Tracer::events() const {
   // Oldest first: when the ring has wrapped, the oldest entry is at next_.
   std::size_t start = size_ < capacity_ ? 0 : next_;
   for (std::size_t i = 0; i < size_; ++i) out.push_back(ring_[(start + i) % size_]);
+  return out;
+}
+
+std::vector<TraceEvent> Tracer::events_canonical() const {
+  std::vector<TraceEvent> out = events();
+  auto key = [](const TraceEvent& e) {
+    return std::tie(e.ts, e.cat, e.name, e.phase, e.id, e.dur);
+  };
+  std::stable_sort(out.begin(), out.end(),
+                   [&](const TraceEvent& a, const TraceEvent& b) { return key(a) < key(b); });
   return out;
 }
 

@@ -102,6 +102,14 @@ class Tracer {
   /// Events in record order, oldest first (the buffer keeps the newest
   /// `capacity()` events; `dropped()` counts the overwritten ones).
   std::vector<TraceEvent> events() const;
+  /// Events in *canonical* order: stably sorted by (ts, cat, name, phase,
+  /// id, dur).  Record order interleaves nondeterministically when several
+  /// shard threads trace concurrently; the canonical order is a pure
+  /// function of the per-timestamp event multiset, which the sharded
+  /// engine's determinism contract preserves across shard counts — digest
+  /// this, not events(), to compare sharded runs (see DESIGN.md
+  /// §sharded-engine).
+  std::vector<TraceEvent> events_canonical() const;
   std::uint64_t dropped() const;
 
   /// Chrome trace_event JSON ({"traceEvents": [...]}); timestamps in

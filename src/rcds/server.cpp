@@ -34,7 +34,7 @@ Result<std::pair<std::string, std::vector<Assertion>>> decode_update(const Bytes
 RcServer::RcServer(simnet::Host& host, std::uint16_t port, RcServerConfig config)
     : rpc_(host, port,
            transport::RpcConfig{duration::seconds(5), config.shared_secret, {}}),
-      engine_(host.world()->engine()),
+      engine_(host.engine()),
       config_(std::move(config)),
       server_id_(host.name() + ":" + std::to_string(rpc_.address().port)),
       log_("rcds@" + server_id_) {

@@ -99,7 +99,7 @@ ResourceManager::ResourceManager(simnet::Host& host, std::vector<simnet::Address
                                  crypto::Principal principal, std::uint16_t port,
                                  RmConfig config)
     : rpc_(host, port, {}),
-      engine_(host.world()->engine()),
+      engine_(host.engine()),
       config_(std::move(config)),
       principal_(std::move(principal)),
       rc_(rpc_, std::move(rc_replicas)),

@@ -9,13 +9,35 @@ namespace snipe::simnet {
 
 namespace {
 constexpr std::size_t kHeapArity = 4;
+
+/// The engine whose clock stamps this thread's trace/log output.  Worker
+/// threads of a sharded World each scope their own engine here; on threads
+/// with no scope (the common single-engine case) the clock falls back to
+/// the engine that registered the global time source.
+thread_local Engine* t_thread_engine = nullptr;
+}  // namespace
+
+Engine* Engine::thread_engine() { return t_thread_engine; }
+
+Engine::ThreadTimeScope::ThreadTimeScope(Engine* engine) : prev_(t_thread_engine) {
+  t_thread_engine = engine;
 }
+
+Engine::ThreadTimeScope::~ThreadTimeScope() { t_thread_engine = prev_; }
 
 Engine::Engine(std::uint64_t seed) : rng_(seed) {
   // Give log lines and trace events the virtual clock for the lifetime of
-  // this engine.
-  set_log_time_source([this] { return now_; });
-  obs::Tracer::global().set_clock([this] { return now_; });
+  // this engine.  A thread-scoped engine (sharded worker) takes precedence,
+  // so each worker reads only its own clock — never another thread's
+  // mutating `now_`.
+  set_log_time_source([this] {
+    Engine* e = t_thread_engine != nullptr ? t_thread_engine : this;
+    return e->now_;
+  });
+  obs::Tracer::global().set_clock([this] {
+    Engine* e = t_thread_engine != nullptr ? t_thread_engine : this;
+    return e->now_;
+  });
 }
 
 Engine::~Engine() {
@@ -189,6 +211,23 @@ void Engine::run_until(SimTime t) {
     step();
   }
   if (now_ < t) now_ = t;
+}
+
+std::size_t Engine::run_before(SimTime end, bool weak_too) {
+  std::size_t n = 0;
+  while (true) {
+    if (!weak_too && strong_pending_ == 0) break;
+    skim_stale();
+    if (heap_.empty() || heap_[0].time >= end) break;
+    step();
+    ++n;
+  }
+  return n;
+}
+
+SimTime Engine::next_event_time() {
+  skim_stale();
+  return heap_.empty() ? kNever : heap_[0].time;
 }
 
 }  // namespace snipe::simnet

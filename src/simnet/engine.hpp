@@ -131,6 +131,10 @@ struct TimerId {
 
 class Engine {
  public:
+  /// Sentinel "no pending event" time (next_event_time when the heap is
+  /// empty); also the "unbounded" window end for run_before.
+  static constexpr SimTime kNever = INT64_MAX;
+
   explicit Engine(std::uint64_t seed = 1);
   ~Engine();
 
@@ -162,6 +166,50 @@ class Engine {
   void run_until(SimTime t);
   /// Runs events for the next `d` of virtual time.
   void run_for(SimDuration d) { run_until(now_ + d); }
+
+  /// Runs events with time strictly < `end` (the conservative-window
+  /// primitive of the sharded World driver: a shard may execute freely up
+  /// to, but not into, the synchronization horizon).  Does NOT advance the
+  /// clock to `end` — `now()` stays at the last executed event, so a later
+  /// window (or a cross-shard arrival at exactly `end`) can still be
+  /// scheduled.  With `weak_too` false, stops early once only weak
+  /// housekeeping events remain (Engine::run semantics).  Returns the
+  /// number of events run.
+  std::size_t run_before(SimTime end, bool weak_too = true);
+
+  /// Time of the earliest live pending event, or kNever when none.
+  SimTime next_event_time();
+
+  /// Pending non-weak events (run() keeps going while this is nonzero).
+  std::size_t strong_pending() const { return strong_pending_; }
+
+  /// Moves the clock forward to `t` without running anything (requires that
+  /// no event <= t is pending); the sharded driver uses this to align every
+  /// shard's clock at the end of a run_until window sweep.
+  void advance_to(SimTime t) {
+    if (now_ < t) now_ = t;
+  }
+
+  /// Scopes the calling thread's trace/log clock to `engine`: while alive,
+  /// trace events and log lines emitted from this thread are stamped with
+  /// `engine`'s virtual time instead of the most recently constructed
+  /// engine's.  The sharded World driver installs one per worker thread (and
+  /// around control-engine drains), so an event on shard 3 is stamped with
+  /// shard 3's clock without any cross-thread read of another engine's
+  /// `now_`.
+  class ThreadTimeScope {
+   public:
+    explicit ThreadTimeScope(Engine* engine);
+    ~ThreadTimeScope();
+    ThreadTimeScope(const ThreadTimeScope&) = delete;
+    ThreadTimeScope& operator=(const ThreadTimeScope&) = delete;
+
+   private:
+    Engine* prev_;
+  };
+
+  /// The engine scoped to the calling thread (nullptr outside any scope).
+  static Engine* thread_engine();
 
   /// The run-level RNG; components should fork() their own streams.
   Rng& rng() { return rng_; }

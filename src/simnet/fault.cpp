@@ -11,6 +11,21 @@
 
 namespace snipe::simnet {
 
+FaultInjector::Lane& FaultInjector::lane(const std::string& src) {
+  std::lock_guard<std::mutex> lock(lanes_mu_);
+  auto it = lanes_.find(src);
+  if (it == lanes_.end())
+    it = lanes_.emplace(src, Lane{base_.derive(Rng::hash_name(src)), false}).first;
+  return it->second;
+}
+
+bool FaultInjector::in_bad_state() const {
+  std::lock_guard<std::mutex> lock(lanes_mu_);
+  for (const auto& [name, ln] : lanes_)
+    if (ln.bad) return true;
+  return false;
+}
+
 FaultVerdict FaultInjector::judge(const std::string& src, const std::string& dst) {
   ++stats_.packets_judged;
   FaultVerdict v;
@@ -22,26 +37,29 @@ FaultVerdict FaultInjector::judge(const std::string& src, const std::string& dst
     return v;
   }
 
-  // The burst chain advances exactly once per judged packet.  All draws
-  // happen in a fixed order (state, loss, duplicate, reorder, corrupt) so
-  // the random sequence — and therefore the whole run — depends only on the
-  // seed and the packet sequence, never on which branches were taken.
-  bad_ = bad_ ? !rng_.chance(profile_.burst.p_exit_bad)
-              : rng_.chance(profile_.burst.p_enter_bad);
-  bool lost = rng_.chance(bad_ ? profile_.burst.loss_bad : profile_.burst.loss_good);
-  bool dup = rng_.chance(profile_.duplicate);
-  bool reorder = rng_.chance(profile_.reorder);
+  // The source's burst chain advances exactly once per judged packet.  All
+  // draws happen in a fixed order (state, loss, duplicate, reorder,
+  // corrupt) so the random sequence — and therefore the whole run —
+  // depends only on the seed and the source's packet sequence, never on
+  // which branches were taken.
+  Lane& ln = lane(src);
+  Rng& rng = ln.rng;
+  ln.bad = ln.bad ? !rng.chance(profile_.burst.p_exit_bad)
+                  : rng.chance(profile_.burst.p_enter_bad);
+  bool lost = rng.chance(ln.bad ? profile_.burst.loss_bad : profile_.burst.loss_good);
+  bool dup = rng.chance(profile_.duplicate);
+  bool reorder = rng.chance(profile_.reorder);
   SimDuration jitter1 =
       profile_.reorder_jitter > 0
-          ? static_cast<SimDuration>(rng_.next_below(
+          ? static_cast<SimDuration>(rng.next_below(
                 static_cast<std::uint64_t>(profile_.reorder_jitter) + 1))
           : 0;
   SimDuration jitter2 =
       profile_.reorder_jitter > 0
-          ? static_cast<SimDuration>(rng_.next_below(
+          ? static_cast<SimDuration>(rng.next_below(
                 static_cast<std::uint64_t>(profile_.reorder_jitter) + 1))
           : 0;
-  bool corrupt = rng_.chance(profile_.corrupt);
+  bool corrupt = rng.chance(profile_.corrupt);
 
   if (lost) {
     ++stats_.drops_burst;
@@ -64,27 +82,33 @@ FaultVerdict FaultInjector::judge(const std::string& src, const std::string& dst
   return v;
 }
 
-void FaultInjector::corrupt_payload(Bytes& wire) {
+void FaultInjector::corrupt_payload(Bytes& wire, const std::string& src) {
   if (wire.empty()) return;
+  Rng& rng = lane(src).rng;
   std::uint32_t flips = static_cast<std::uint32_t>(
-      rng_.next_below(std::max<std::uint32_t>(profile_.corrupt_max_bytes, 1)) + 1);
+      rng.next_below(std::max<std::uint32_t>(profile_.corrupt_max_bytes, 1)) + 1);
   for (std::uint32_t i = 0; i < flips; ++i) {
-    std::size_t pos = static_cast<std::size_t>(rng_.next_below(wire.size()));
-    std::uint8_t mask = static_cast<std::uint8_t>(rng_.next_below(255) + 1);  // never 0
+    std::size_t pos = static_cast<std::size_t>(rng.next_below(wire.size()));
+    std::uint8_t mask = static_cast<std::uint8_t>(rng.next_below(255) + 1);  // never 0
     wire[pos] ^= mask;
   }
 }
 
-void FaultInjector::corrupt_payload(Payload& wire) {
+void FaultInjector::corrupt_payload(Bytes& wire) { corrupt_payload(wire, std::string()); }
+
+void FaultInjector::corrupt_payload(Payload& wire, const std::string& src) {
   if (wire.empty()) return;
+  Rng& rng = lane(src).rng;
   std::uint32_t flips = static_cast<std::uint32_t>(
-      rng_.next_below(std::max<std::uint32_t>(profile_.corrupt_max_bytes, 1)) + 1);
+      rng.next_below(std::max<std::uint32_t>(profile_.corrupt_max_bytes, 1)) + 1);
   for (std::uint32_t i = 0; i < flips; ++i) {
-    std::size_t pos = static_cast<std::size_t>(rng_.next_below(wire.size()));
-    std::uint8_t mask = static_cast<std::uint8_t>(rng_.next_below(255) + 1);  // never 0
+    std::size_t pos = static_cast<std::size_t>(rng.next_below(wire.size()));
+    std::uint8_t mask = static_cast<std::uint8_t>(rng.next_below(255) + 1);  // never 0
     wire.cow_xor(pos, mask);
   }
 }
+
+void FaultInjector::corrupt_payload(Payload& wire) { corrupt_payload(wire, std::string()); }
 
 void FaultInjector::set_partition(const std::vector<std::vector<std::string>>& groups) {
   group_of_.clear();
@@ -130,7 +154,11 @@ FaultInjector& FaultPlan::ensure_injector(const std::string& network) {
 void FaultPlan::act(SimTime at, std::string name,
                     std::vector<std::pair<std::string, std::string>> args,
                     std::function<void()> fn) {
-  world_.engine().schedule_at(
+  // Plan actions run on the control engine: with one shard that is the
+  // world's only engine (today's behavior exactly); with several it is the
+  // coordinator-driven engine that fires between windows, when every
+  // worker is parked and any host or network can be mutated safely.
+  world_.control_engine().schedule_at(
       at, [name = std::move(name), args = std::move(args), fn = std::move(fn)] {
         obs::Tracer::global().instant("fault", name, args);
         // Mirror every injected fault into the flight recorder so a dump

@@ -10,9 +10,10 @@
 //  * FaultInjector — a per-network packet mangler consulted by Host::send /
 //    Host::broadcast for every datagram: burst loss (a Gilbert–Elliott
 //    two-state chain), duplication, reordering (bounded extra delay),
-//    byte corruption, and host-group partitions.  Every decision draws from
-//    one seeded Rng in a fixed order, so a run is replayable bit-for-bit
-//    from its seed, and attaching an injector never perturbs the hosts'
+//    byte corruption, and host-group partitions.  Every decision draws, in
+//    a fixed order, from a per-source-host lane derived from one seed, so a
+//    run is replayable bit-for-bit from its seed — for every shard count of
+//    a sharded World — and attaching an injector never perturbs the hosts'
 //    own RNG streams (the baseline loss draw is untouched).
 //
 //  * FaultPlan — a schedule of timed failure windows (link down/up, NIC
@@ -22,10 +23,12 @@
 //    world turned hostile and traces of two same-seed runs compare equal.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -70,13 +73,16 @@ struct FaultProfile {
   std::uint32_t corrupt_max_bytes = 4;  ///< bytes flipped per corruption, 1..n
 };
 
+/// Counters are relaxed atomics: an injector on a network that spans
+/// shards is consulted from several worker threads at once, and every
+/// field is a pure sum.
 struct FaultStats {
-  std::uint64_t packets_judged = 0;
-  std::uint64_t drops_burst = 0;      ///< killed by the Gilbert–Elliott chain
-  std::uint64_t drops_partition = 0;  ///< crossed a partition boundary
-  std::uint64_t duplicated = 0;
-  std::uint64_t reordered = 0;
-  std::uint64_t corrupted = 0;
+  std::atomic<std::uint64_t> packets_judged{0};
+  std::atomic<std::uint64_t> drops_burst{0};      ///< killed by the Gilbert–Elliott chain
+  std::atomic<std::uint64_t> drops_partition{0};  ///< crossed a partition boundary
+  std::atomic<std::uint64_t> duplicated{0};
+  std::atomic<std::uint64_t> reordered{0};
+  std::atomic<std::uint64_t> corrupted{0};
 };
 
 /// What the injector decided for one datagram.
@@ -91,18 +97,28 @@ struct FaultVerdict {
 class FaultInjector {
  public:
   FaultInjector(FaultProfile profile, Rng rng)
-      : profile_(profile), rng_(rng) {}
+      : profile_(profile), base_(rng) {}
 
-  /// Judges one datagram from `src` to `dst`.  Draws from the injector's
-  /// Rng in a fixed order regardless of outcome, so the decision sequence
-  /// depends only on the seed and the packet sequence.
+  /// Judges one datagram from `src` to `dst`.  Each *source host* gets its
+  /// own decision lane — an Rng stream plus a Gilbert–Elliott burst state —
+  /// derived order-independently from the injector's seed and the host's
+  /// name.  Draws happen in a fixed order regardless of outcome, so the
+  /// sequence a source sees depends only on (seed, its own packet
+  /// sequence): never on other hosts' traffic, and never on which shard of
+  /// a sharded World the host runs on.  Lanes are also what make
+  /// concurrent judging safe: a host's packets are judged only by its own
+  /// shard's thread.
   FaultVerdict judge(const std::string& src, const std::string& dst);
 
-  /// Flips 1..corrupt_max_bytes bytes of `wire` (no-op on empty).
+  /// Flips 1..corrupt_max_bytes bytes of `wire` (no-op on empty), drawing
+  /// from `src`'s lane; the two-argument forms are what the delivery path
+  /// uses.  The src-less legacy forms draw from a dedicated default lane.
+  void corrupt_payload(Bytes& wire, const std::string& src);
   void corrupt_payload(Bytes& wire);
   /// Payload variant: copy-on-write — shared segments are cloned before the
   /// flip so other holders of the same buffer keep the original bytes.  The
   /// RNG draw sequence is identical to the Bytes variant.
+  void corrupt_payload(Payload& wire, const std::string& src);
   void corrupt_payload(Payload& wire);
 
   /// Splits hosts into isolated groups: packets between different groups
@@ -114,14 +130,27 @@ class FaultInjector {
   /// True when a packet between `a` and `b` would cross a partition.
   bool partitioned(const std::string& a, const std::string& b) const;
 
-  bool in_bad_state() const { return bad_; }
+  /// True when any source lane's burst chain is currently in its bad state.
+  bool in_bad_state() const;
   const FaultProfile& profile() const { return profile_; }
   const FaultStats& stats() const { return stats_; }
 
  private:
+  /// One source host's decision stream: its Rng and burst-chain state.
+  struct Lane {
+    Rng rng;
+    bool bad = false;
+  };
+  /// Finds or creates `src`'s lane.  The mutex guards only the map's
+  /// structure (lanes are created on first packet, possibly from several
+  /// threads); the returned lane itself is mutated exclusively by the
+  /// thread simulating `src`'s shard.
+  Lane& lane(const std::string& src);
+
   FaultProfile profile_;
-  Rng rng_;
-  bool bad_ = false;
+  Rng base_;  ///< never advanced: lanes derive from it by name hash
+  mutable std::mutex lanes_mu_;
+  std::map<std::string, Lane> lanes_;
   std::map<std::string, int> group_of_;  ///< empty map = no partition
   FaultStats stats_;
 };

@@ -2,14 +2,41 @@
 
 #include <algorithm>
 #include <cassert>
+#include <ctime>
 
 #include "simnet/fault.hpp"
 
 namespace snipe::simnet {
 
+namespace {
+
+/// Shard index of the calling thread: workers of a sharded World set this
+/// for their lifetime; -1 on the coordinator (and every other) thread.
+thread_local int t_current_shard = -1;
+
+/// CPU time consumed by the calling thread.  This is what the windowed
+/// driver charges per shard per window: on a box with fewer cores than
+/// shards the wall clock measures scheduling luck, while the per-window
+/// maximum of this is the true critical path of the parallel execution.
+std::uint64_t thread_cpu_ns() {
+#if defined(__linux__)
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0)
+    return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ULL +
+           static_cast<std::uint64_t>(ts.tv_nsec);
+#endif
+  return 0;
+}
+
+SimTime sat_add(SimTime a, SimTime b) {
+  return b >= Engine::kNever - a ? Engine::kNever : a + b;
+}
+
+}  // namespace
+
 /// Reordering is extra delivery delay; a duplicate is a second,
 /// independently-jittered arrival event.
-void Host::schedule_delivery(Engine& engine, Network* net, Host* target, SimTime arrival,
+void Host::schedule_delivery(World* world, Network* net, Host* target, SimTime arrival,
                              Packet packet) {
   FaultInjector* fault = net->fault();
   if (fault != nullptr) {
@@ -19,26 +46,27 @@ void Host::schedule_delivery(Engine& engine, Network* net, Host* target, SimTime
       return;
     }
     if (v.corrupt) {
-      fault->corrupt_payload(packet.payload);
+      fault->corrupt_payload(packet.payload, packet.src.host);
       net->stats().fault_corruptions++;
     }
     if (v.copies > 1) {
       net->stats().fault_duplicates += static_cast<std::uint64_t>(v.copies - 1);
-      Packet copy = packet;
-      engine.schedule_at(arrival + v.extra_delay + v.dup_delay,
-                         [target, net, copy = std::move(copy)]() mutable {
-                           target->deliver(std::move(copy), net);
-                         });
+      // The duplicate is posted first, as it always has been: at equal
+      // arrival times post order decides delivery order.
+      world->post_delivery(net, target, arrival + v.extra_delay + v.dup_delay, packet);
     }
     arrival += v.extra_delay;
   }
-  engine.schedule_at(arrival, [target, net, packet = std::move(packet)]() mutable {
-    target->deliver(std::move(packet), net);
-  });
+  world->post_delivery(net, target, arrival, std::move(packet));
 }
 
-Host::Host(World* world, std::string name, Rng rng)
-    : world_(world), name_(std::move(name)), rng_(rng), log_("host@" + name_) {}
+Host::Host(World* world, std::string name, Rng rng, Engine* engine, std::size_t shard)
+    : world_(world),
+      name_(std::move(name)),
+      rng_(rng),
+      engine_(engine),
+      shard_(shard),
+      log_("host@" + name_) {}
 
 Result<void> Host::bind(std::uint16_t port, PacketHandler handler) {
   if (ports_.count(port))
@@ -133,7 +161,9 @@ Result<std::string> Host::send(const Address& dst, Payload payload, const SendOp
                  "datagram of " + std::to_string(payload.size()) + " bytes exceeds MTU " +
                      std::to_string(net->model().mtu) + " on " + net->name()};
 
-  Engine& engine = world_->engine();
+  // The sender's own engine clocks serialization: a host's sends always run
+  // on its shard's thread (or on the coordinator at a window barrier).
+  Engine& engine = *engine_;
   SimTime start = std::max(engine.now(), ours->next_free);
   SimDuration ser = net->model().serialize_time(payload.size());
   ours->next_free = start + ser;
@@ -149,7 +179,7 @@ Result<std::string> Host::send(const Address& dst, Payload payload, const SendOp
   }
 
   Packet packet{Address{name_, opts.src_port}, dst, std::move(payload), net->name()};
-  schedule_delivery(engine, net, dst_host, arrival, std::move(packet));
+  schedule_delivery(world_, net, dst_host, arrival, std::move(packet));
   return net->name();
 }
 
@@ -180,7 +210,7 @@ Result<void> Host::broadcast(const std::string& network, std::uint16_t port, Pay
   if (payload.size() > net->model().mtu)
     return Error{Errc::invalid_argument, "broadcast exceeds MTU on " + network};
 
-  Engine& engine = world_->engine();
+  Engine& engine = *engine_;
   SimTime start = std::max(engine.now(), ours->next_free);
   SimDuration ser = net->model().serialize_time(payload.size());
   ours->next_free = start + ser;
@@ -199,9 +229,48 @@ Result<void> Host::broadcast(const std::string& network, std::uint16_t port, Pay
     Host* target = nic->host();
     Packet packet{Address{name_, src_port}, Address{target->name(), port}, payload,
                   net->name()};
-    schedule_delivery(engine, net, target, arrival, std::move(packet));
+    schedule_delivery(world_, net, target, arrival, std::move(packet));
   }
   return ok_result();
+}
+
+World::World(std::uint64_t seed, std::size_t shards) {
+  assert(shards >= 1 && "a World needs at least one shard");
+  engines_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    // Shard 0 carries the run seed: hosts fork their RNGs from it in
+    // creation order, so the per-host streams are identical for every shard
+    // count.  The other engines get decorrelated seeds of their own.
+    engines_.push_back(
+        std::make_unique<Engine>(seed + 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(i)));
+  }
+  if (shards > 1) {
+    // Constructed last so the coordinator thread's fallback trace/log clock
+    // is the control engine's.
+    ctrl_engine_ = std::make_unique<Engine>(seed ^ 0xc2b2ae3d27d4eb4fULL);
+    ctrl_ = ctrl_engine_.get();
+  } else {
+    ctrl_ = engines_[0].get();
+  }
+  mail_.resize(shards);
+  for (auto& row : mail_) row.resize(shards);
+  mail_seq_.assign(shards, 0);
+  shard_busy_ns_.assign(shards, 0);
+}
+
+World::~World() {
+  stop_workers();
+  // Pending events may own endpoints that unbind from hosts on
+  // destruction; release them while the hosts are still alive.
+  if (ctrl_engine_) ctrl_engine_->clear();
+  for (auto& e : engines_) e->clear();
+  for (auto& row : mail_)
+    for (auto& cell : row) cell.clear();
+}
+
+SimTime World::now() const {
+  Engine* e = Engine::thread_engine();
+  return e != nullptr ? e->now() : ctrl_->now();
 }
 
 Network& World::create_network(const std::string& name, MediaModel model) {
@@ -212,9 +281,11 @@ Network& World::create_network(const std::string& name, MediaModel model) {
   return ref;
 }
 
-Host& World::create_host(const std::string& name) {
+Host& World::create_host(const std::string& name, std::size_t shard) {
   assert(!hosts_.count(name) && "duplicate host name");
-  auto host = std::make_unique<Host>(this, name, engine_.rng().fork());
+  assert(shard < engines_.size() && "shard out of range");
+  auto host = std::make_unique<Host>(this, name, engines_[0]->rng().fork(),
+                                     engines_[shard].get(), shard);
   Host& ref = *host;
   hosts_[name] = std::move(host);
   return ref;
@@ -243,6 +314,208 @@ Host* World::host(const std::string& name) {
 Network* World::network(const std::string& name) {
   auto it = networks_.find(name);
   return it == networks_.end() ? nullptr : it->second.get();
+}
+
+void World::post_delivery(Network* net, Host* target, SimTime arrival, Packet packet) {
+  int src = t_current_shard;
+  if (src < 0 || static_cast<std::size_t>(src) == target->shard()) {
+    // Same shard, or the coordinator between windows: straight onto the
+    // target's engine — the classic path.  A coordinator-initiated send can
+    // race the destination clock (its host's shard may have simulated past
+    // the arrival already), so it lands no earlier than the target's now.
+    SimTime when = std::max(arrival, target->engine().now());
+    target->engine().schedule_at(when, [target, net, packet = std::move(packet)]() mutable {
+      target->deliver(std::move(packet), net);
+    });
+    return;
+  }
+  // Cross-shard: park it in the mailbox until the window barrier.  The
+  // conservative window guarantees arrival >= the window end, so the
+  // destination has not simulated past it.
+  auto s = static_cast<std::size_t>(src);
+  mail_[s][target->shard()].push_back(
+      MailItem{arrival, mail_seq_[s]++, net, target, std::move(packet)});
+}
+
+void World::drain_mailboxes() {
+  struct Entry {
+    std::size_t src;
+    MailItem item;
+  };
+  std::size_t total = 0;
+  for (auto& row : mail_)
+    for (auto& cell : row) total += cell.size();
+  if (total == 0) return;
+  std::vector<Entry> entries;
+  entries.reserve(total);
+  for (std::size_t s = 0; s < mail_.size(); ++s)
+    for (auto& cell : mail_[s]) {
+      for (auto& item : cell) entries.push_back(Entry{s, std::move(item)});
+      cell.clear();
+    }
+  // Deterministic insertion order: arrival time, then source shard, then
+  // the source's posting sequence.  Engine sequence numbers then preserve
+  // this order among equal-time deliveries, so the destination sees the
+  // same equal-time ordering for every shard count that keeps the sources
+  // on distinct shards.
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    if (a.item.arrival != b.item.arrival) return a.item.arrival < b.item.arrival;
+    if (a.src != b.src) return a.src < b.src;
+    return a.item.seq < b.item.seq;
+  });
+  run_stats_.cross_shard_packets += total;
+  for (Entry& e : entries) {
+    Host* target = e.item.target;
+    Network* net = e.item.net;
+    assert(e.item.arrival >= target->engine().now() && "conservative window violated");
+    target->engine().schedule_at(e.item.arrival,
+                                 [target, net, packet = std::move(e.item.packet)]() mutable {
+                                   target->deliver(std::move(packet), net);
+                                 });
+  }
+}
+
+SimTime World::compute_lookahead() const {
+  SimTime la = Engine::kNever;
+  for (const auto& [name, net] : networks_) {
+    bool cross = false;
+    std::size_t first_shard = 0;
+    bool seen = false;
+    for (const Nic* nic : net->nics()) {
+      std::size_t s = nic->host()->shard();
+      if (!seen) {
+        first_shard = s;
+        seen = true;
+      } else if (s != first_shard) {
+        cross = true;
+        break;
+      }
+    }
+    if (cross) la = std::min(la, net->model().latency);
+  }
+  // A zero-latency cross-shard link would make windows empty; clamp to one
+  // tick (such a link also voids the conservative guarantee — see
+  // DESIGN.md §sharded-engine).
+  return std::max<SimTime>(la, 1);
+}
+
+void World::ensure_workers() {
+  if (engines_.size() == 1 || !workers_.empty()) return;
+  workers_.reserve(engines_.size());
+  for (std::size_t i = 0; i < engines_.size(); ++i)
+    workers_.emplace_back([this, i] { worker_main(i); });
+}
+
+void World::stop_workers() {
+  if (workers_.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    quit_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& t : workers_) t.join();
+  workers_.clear();
+  quit_ = false;
+}
+
+void World::worker_main(std::size_t shard) {
+  Engine* eng = engines_[shard].get();
+  // For this thread's whole life: trace/log clock reads this shard's
+  // engine, and deliveries posted from here route through post_delivery's
+  // shard-aware path.
+  Engine::ThreadTimeScope scope(eng);
+  t_current_shard = static_cast<int>(shard);
+  std::uint64_t seen = 0;
+  while (true) {
+    SimTime end;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock, [&] { return quit_ || window_gen_ != seen; });
+      if (quit_) return;
+      seen = window_gen_;
+      end = window_end_;
+    }
+    std::uint64_t c0 = thread_cpu_ns();
+    eng->run_before(end, /*weak_too=*/true);
+    std::uint64_t c1 = thread_cpu_ns();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shard_busy_ns_[shard] = c1 - c0;
+      if (++done_ == engines_.size()) cv_done_.notify_one();
+    }
+  }
+}
+
+void World::run_windows(SimTime horizon, bool stop_when_strong_drained) {
+  ensure_workers();
+  lookahead_ = compute_lookahead();
+  const std::size_t n = engines_.size();
+  while (true) {
+    if (stop_when_strong_drained) {
+      std::size_t strong = ctrl_->strong_pending();
+      for (auto& e : engines_) strong += e->strong_pending();
+      if (strong == 0) break;
+    }
+    SimTime ctrl_next = ctrl_->next_event_time();
+    SimTime s = ctrl_next;
+    for (auto& e : engines_) s = std::min(s, e->next_event_time());
+    if (s == Engine::kNever || s > horizon) break;
+    if (ctrl_next == s) {
+      // Control actions at time s run first, on this thread, with every
+      // worker idle: they may touch any host or network safely, and
+      // whatever they schedule at s is picked up when the loop recomputes.
+      Engine::ThreadTimeScope scope(ctrl_);
+      ctrl_->run_before(sat_add(s, 1), /*weak_too=*/true);
+      continue;
+    }
+    // Conservative window [s, e): nothing can cross shards into it.
+    SimTime e = std::min({sat_add(s, lookahead_), ctrl_next, sat_add(horizon, 1)});
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      window_end_ = e;
+      done_ = 0;
+      ++window_gen_;
+      cv_work_.notify_all();
+      cv_done_.wait(lock, [&] { return done_ == n; });
+    }
+    // Workers are idle again; the barrier above is the happens-before edge
+    // that publishes their window's writes (mailboxes, busy times, host
+    // state) to this thread.
+    drain_mailboxes();
+    ++run_stats_.windows;
+    std::uint64_t wmax = 0;
+    for (std::uint64_t b : shard_busy_ns_) {
+      wmax = std::max(wmax, b);
+      run_stats_.busy_ns += b;
+    }
+    run_stats_.critical_path_ns += wmax;
+  }
+}
+
+void World::run_until(SimTime t) {
+  if (engines_.size() == 1) {
+    engines_[0]->run_until(t);
+    return;
+  }
+  run_windows(t, /*stop_when_strong_drained=*/false);
+  for (auto& e : engines_) e->advance_to(t);
+  ctrl_->advance_to(t);
+}
+
+std::size_t World::run_all() {
+  std::uint64_t before = events_run();
+  if (engines_.size() == 1) {
+    engines_[0]->run();
+  } else {
+    run_windows(Engine::kNever, /*stop_when_strong_drained=*/true);
+  }
+  return static_cast<std::size_t>(events_run() - before);
+}
+
+std::uint64_t World::events_run() const {
+  std::uint64_t total = ctrl_engine_ ? ctrl_engine_->events_run() : 0;
+  for (const auto& e : engines_) total += e->events_run();
+  return total;
 }
 
 }  // namespace snipe::simnet

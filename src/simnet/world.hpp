@@ -16,11 +16,15 @@
 // simnet/fault.hpp's FaultInjector/FaultPlan.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "simnet/engine.hpp"
@@ -79,17 +83,20 @@ class Nic {
 };
 
 /// Aggregate traffic counters, kept per network and exposed by World for
-/// the bench harnesses.
+/// the bench harnesses.  Fields are relaxed atomics because a network that
+/// spans shards is incremented from several worker threads at once; every
+/// field is a pure sum, so totals stay deterministic regardless of the
+/// interleaving.
 struct NetStats {
-  std::uint64_t packets_sent = 0;
-  std::uint64_t bytes_sent = 0;
-  std::uint64_t packets_delivered = 0;
-  std::uint64_t drops_loss = 0;      ///< random media loss
-  std::uint64_t drops_down = 0;      ///< host/NIC/network down at delivery
-  std::uint64_t drops_unbound = 0;   ///< no listener on the destination port
-  std::uint64_t drops_fault = 0;     ///< fault injector (burst loss/partition)
-  std::uint64_t fault_duplicates = 0;  ///< extra copies injected
-  std::uint64_t fault_corruptions = 0; ///< datagrams delivered mangled
+  std::atomic<std::uint64_t> packets_sent{0};
+  std::atomic<std::uint64_t> bytes_sent{0};
+  std::atomic<std::uint64_t> packets_delivered{0};
+  std::atomic<std::uint64_t> drops_loss{0};      ///< random media loss
+  std::atomic<std::uint64_t> drops_down{0};      ///< host/NIC/network down at delivery
+  std::atomic<std::uint64_t> drops_unbound{0};   ///< no listener on the destination port
+  std::atomic<std::uint64_t> drops_fault{0};     ///< fault injector (burst loss/partition)
+  std::atomic<std::uint64_t> fault_duplicates{0};  ///< extra copies injected
+  std::atomic<std::uint64_t> fault_corruptions{0}; ///< datagrams delivered mangled
 };
 
 /// A shared medium: an Ethernet segment, ATM fabric, or point-to-point WAN.
@@ -136,9 +143,17 @@ struct SendOptions {
 };
 
 /// A simulated machine.  Hosts own their NICs and their port table.
+///
+/// Every host belongs to one *shard*: the engine its events (deliveries,
+/// protocol timers, handler callbacks) run on.  With a single-shard World
+/// that is the World's one engine, exactly as before; with N shards the
+/// engines run on parallel worker threads in conservative time windows (see
+/// World below), and everything a host owns — NICs, port table, transport
+/// endpoints constructed against it — is touched only by its shard's
+/// thread.
 class Host {
  public:
-  Host(World* world, std::string name, Rng rng);
+  Host(World* world, std::string name, Rng rng, Engine* engine, std::size_t shard);
 
   const std::string& name() const { return name_; }
   bool up() const { return up_; }
@@ -178,12 +193,21 @@ class Host {
   World* world() const { return world_; }
   Rng& rng() { return rng_; }
 
+  /// The engine this host's events run on (its shard's engine).  Transport
+  /// endpoints and services bound to this host must schedule their timers
+  /// here, not on World::engine(), so they stay on their shard's thread.
+  Engine& engine() const { return *engine_; }
+  /// Which shard this host was created on (0 in a single-shard World).
+  std::size_t shard() const { return shard_; }
+
  private:
   friend class World;
   void deliver(Packet packet, Network* network);
   /// Runs one about-to-fly datagram through `net`'s fault injector (if any)
-  /// and schedules the surviving copies for delivery at `target`.
-  static void schedule_delivery(Engine& engine, Network* net, Host* target,
+  /// and posts the surviving copies for delivery at `target` — directly
+  /// onto the target's engine when it shares the sender's shard, through
+  /// the cross-shard mailbox otherwise.
+  static void schedule_delivery(World* world, Network* net, Host* target,
                                 SimTime arrival, Packet packet);
 
   World* world_;
@@ -193,26 +217,95 @@ class Host {
   std::map<std::uint16_t, PacketHandler> ports_;
   std::uint16_t next_ephemeral_ = 49152;
   Rng rng_;
+  Engine* engine_;
+  std::size_t shard_;
   Logger log_;
 };
 
-/// The whole simulated testbed: engine + hosts + networks.
+/// The whole simulated testbed: engines + hosts + networks.
+///
+/// With `shards == 1` (the default) this is exactly the classic single
+/// engine World.  With `shards > 1` the hosts are partitioned across N
+/// private engines, each driven by its own worker thread, and the run
+/// methods below execute a conservative windowed parallel simulation:
+///
+///   * The *lookahead* L is the minimum media latency over networks whose
+///     NICs span more than one shard (never below one tick).  A packet sent
+///     at time t cannot arrive on another shard before t + L.
+///   * Each window starts at s = the earliest pending event anywhere and
+///     ends at e = min(s + L, next control event, horizon).  Every shard
+///     runs its own events with time in [s, e) in parallel, touching only
+///     its own hosts' state.
+///   * Cross-shard sends during the window land in per-(src,dst) shard
+///     mailboxes; at the window barrier the coordinator drains them in
+///     deterministic order — sorted by (arrival time, source shard, per-
+///     source-shard sequence) — onto the destination engines.  Arrival
+///     times are >= e by the lookahead argument, so no shard ever receives
+///     an event in its past.
+///
+/// World-level orchestration (FaultPlan actions, scripted workloads) runs
+/// on a dedicated *control engine* between windows on the coordinator
+/// thread; its next event time bounds every window, so control actions are
+/// totally ordered against shard events.  With shards == 1 the control
+/// engine IS the one shard engine, preserving today's behavior bit for
+/// bit.  See DESIGN.md §sharded-engine for the determinism contract.
 class World {
  public:
-  explicit World(std::uint64_t seed = 1) : engine_(seed) {}
-  ~World() {
-    // Pending events may own endpoints that unbind from hosts on
-    // destruction; release them while the hosts are still alive.
-    engine_.clear();
-  }
+  /// Per-run accounting for the windowed driver (bench + tests).
+  struct RunStats {
+    std::uint64_t windows = 0;            ///< barriers executed
+    std::uint64_t cross_shard_packets = 0;///< deliveries routed via mailboxes
+    /// Sum over windows of the *maximum* per-shard thread-CPU time spent in
+    /// that window: the critical path of the parallel execution.  On a
+    /// machine with >= N cores this is what the wall clock converges to.
+    std::uint64_t critical_path_ns = 0;
+    std::uint64_t busy_ns = 0;            ///< total thread-CPU time, all shards
+  };
 
-  Engine& engine() { return engine_; }
-  SimTime now() const { return engine_.now(); }
+  explicit World(std::uint64_t seed = 1, std::size_t shards = 1);
+  ~World();
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  /// The first shard's engine.  With one shard (the default) this is the
+  /// only engine and behaves exactly as World::engine always has; sharded
+  /// setups should schedule per-host work on Host::engine() and
+  /// world-level orchestration on control_engine().
+  Engine& engine() { return *engines_[0]; }
+  /// The engine world-level orchestration (FaultPlan, scripted workload)
+  /// runs on.  Identical to engine() when shards == 1.
+  Engine& control_engine() { return *ctrl_; }
+  /// Engine for shard `i`.
+  Engine& shard_engine(std::size_t i) { return *engines_[i]; }
+  std::size_t shard_count() const { return engines_.size(); }
+
+  /// Virtual time as seen by the calling thread: a sharded worker reads its
+  /// own engine's clock, the coordinator reads the control engine's.
+  SimTime now() const;
+
+  /// Runs the simulation up to and including time `t` (all engines end at
+  /// exactly `t`).  Single shard: Engine::run_until.  Multi shard: the
+  /// conservative window loop described above.
+  void run_until(SimTime t);
+  /// Runs until no *strong* events remain anywhere (Engine::run semantics
+  /// lifted to all shards).  Returns the number of events executed.
+  std::size_t run_all();
+
+  /// Total events executed across all engines.
+  std::uint64_t events_run() const;
+  /// The lookahead of the current topology (recomputed at each run call);
+  /// Engine::kNever when no network crosses shards.
+  SimTime lookahead() const { return lookahead_; }
+  const RunStats& run_stats() const { return run_stats_; }
 
   /// Creates a network; names must be unique.
   Network& create_network(const std::string& name, MediaModel model);
-  /// Creates a host; names must be unique.
-  Host& create_host(const std::string& name);
+  /// Creates a host on shard `shard`; names must be unique.  Host RNG
+  /// streams fork from the first engine's RNG in creation order, so a given
+  /// creation sequence yields identical per-host streams for every shard
+  /// count.
+  Host& create_host(const std::string& name, std::size_t shard = 0);
   /// Attaches a host to a network with a fresh NIC.
   Nic& attach(Host& host, Network& network);
   Nic& attach(const std::string& host, const std::string& network);
@@ -224,9 +317,56 @@ class World {
 
  private:
   friend class Host;
-  Engine engine_;
+
+  /// One cross-shard delivery parked until the window barrier.
+  struct MailItem {
+    SimTime arrival;
+    std::uint64_t seq;  ///< per-source-shard, assigned at post time
+    Network* net;
+    Host* target;
+    Packet packet;
+  };
+
+  /// Called from Host::schedule_delivery: schedules directly when the
+  /// target lives on the calling thread's shard (or the caller is the
+  /// coordinator), otherwise appends to mail_[calling shard][target shard].
+  void post_delivery(Network* net, Host* target, SimTime arrival, Packet packet);
+  void drain_mailboxes();
+  /// The shared window loop behind run_until/run_all.  Runs windows until
+  /// the next event anywhere is past `horizon`; with
+  /// `stop_when_strong_drained` also stops once no strong event remains on
+  /// any engine (run_all mode).
+  void run_windows(SimTime horizon, bool stop_when_strong_drained);
+  SimTime compute_lookahead() const;
+  void ensure_workers();
+  void stop_workers();
+  void worker_main(std::size_t shard);
+
+  std::vector<std::unique_ptr<Engine>> engines_;  ///< one per shard
+  std::unique_ptr<Engine> ctrl_engine_;           ///< only when shards > 1
+  Engine* ctrl_;                                  ///< == engines_[0] when shards == 1
   std::map<std::string, std::unique_ptr<Host>> hosts_;
   std::map<std::string, std::unique_ptr<Network>> networks_;
+
+  SimTime lookahead_ = Engine::kNever;
+  RunStats run_stats_;
+
+  // Worker pool + window barrier (multi-shard only; single shard never
+  // starts threads).  All cross-thread state below is exchanged under mu_,
+  // which is what gives every window a happens-before edge: whatever shard
+  // i wrote during window k is visible to the coordinator at the barrier
+  // and to every shard in window k+1.
+  std::vector<std::vector<std::vector<MailItem>>> mail_;  ///< [src][dst]
+  std::vector<std::uint64_t> mail_seq_;                   ///< per src shard
+  std::vector<std::uint64_t> shard_busy_ns_;              ///< this window, per shard
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::uint64_t window_gen_ = 0;
+  SimTime window_end_ = 0;
+  std::size_t done_ = 0;
+  bool quit_ = false;
+  std::vector<std::thread> workers_;
 };
 
 }  // namespace snipe::simnet

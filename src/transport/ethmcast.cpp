@@ -11,7 +11,7 @@ EthMcastEndpoint::EthMcastEndpoint(simnet::Host& host, const std::string& networ
                                    const std::string& group, std::uint16_t port,
                                    EthMcastConfig config)
     : host_(host),
-      engine_(host.world()->engine()),
+      engine_(host.engine()),
       network_(network),
       group_(group),
       port_(port),

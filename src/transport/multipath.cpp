@@ -20,7 +20,7 @@ bool MultipathPolicy::on_success(SimTime now) {
 }
 
 bool MultipathPolicy::on_timeout(simnet::Host& host) {
-  last_timeout_ = host.world()->engine().now();
+  last_timeout_ = host.engine().now();
   ++consecutive_timeouts_;
   if (consecutive_timeouts_ < failover_threshold_) return false;
   consecutive_timeouts_ = 0;

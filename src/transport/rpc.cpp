@@ -6,7 +6,7 @@ namespace snipe::transport {
 
 RpcEndpoint::RpcEndpoint(simnet::Host& host, std::uint16_t port, RpcConfig config)
     : srudp_(host, port, config.srudp),
-      engine_(host.world()->engine()),
+      engine_(host.engine()),
       config_(std::move(config)),
       log_("rpc@" + host.name() + ":" + std::to_string(srudp_.port())) {
   srudp_.set_handler([this](const simnet::Address& src, Payload msg) {

@@ -11,7 +11,7 @@ constexpr std::size_t kMinFragPayload = 256;
 
 SrudpEndpoint::SrudpEndpoint(simnet::Host& host, std::uint16_t port, SrudpConfig config)
     : host_(host),
-      engine_(host.world()->engine()),
+      engine_(host.engine()),
       port_(port == 0 ? host.ephemeral_port() : port),
       config_(config),
       log_("srudp@" + host.name() + ":" + std::to_string(port_)) {

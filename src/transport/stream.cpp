@@ -12,7 +12,7 @@ namespace snipe::transport {
 
 StreamEndpoint::StreamEndpoint(simnet::Host& host, std::uint16_t port, StreamConfig config)
     : host_(host),
-      engine_(host.world()->engine()),
+      engine_(host.engine()),
       port_(port == 0 ? host.ephemeral_port() : port),
       config_(config),
       log_("stream@" + host.name() + ":" + std::to_string(port_)) {

@@ -69,4 +69,23 @@ double Rng::next_range(double lo, double hi) { return lo + (hi - lo) * next_doub
 
 Rng Rng::fork() { return Rng(next_u64()); }
 
+Rng Rng::derive(std::uint64_t key) const {
+  // Collapse the parent's full 256-bit state with the key through one more
+  // splitmix pass, then reseed from scratch.  Reading (not advancing) the
+  // state keeps derivation order-independent; folding all four words in
+  // keeps distinct parents from colliding on equal keys.
+  std::uint64_t sm = s_[0] ^ rotl(s_[1], 13) ^ rotl(s_[2], 29) ^ rotl(s_[3], 43);
+  sm ^= key * 0x9e3779b97f4a7c15ULL;
+  return Rng(splitmix64(sm));
+}
+
+std::uint64_t Rng::hash_name(const std::string& name) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : name) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
 }  // namespace snipe

@@ -37,8 +37,21 @@ class Rng {
   double next_range(double lo, double hi);
 
   /// Derives an independent child stream; used to give each simulated host
-  /// its own RNG from one run-level seed.
+  /// its own RNG from one run-level seed.  Advances this stream (successive
+  /// forks differ), so fork order matters for reproducibility.
   Rng fork();
+
+  /// Derives an independent child stream keyed by `key` WITHOUT advancing
+  /// this stream: the same (parent state, key) pair always yields the same
+  /// child, no matter how many other keys were derived before it.  This is
+  /// what makes per-entity random streams placement-invariant — the sharded
+  /// fault injector derives one lane per source host by name hash, so the
+  /// decision sequence a host sees does not depend on which shard it (or
+  /// any other host) runs on.
+  Rng derive(std::uint64_t key) const;
+
+  /// FNV-1a of a string, the stable name hash used as a derive() key.
+  static std::uint64_t hash_name(const std::string& name);
 
  private:
   std::uint64_t s_[4];

@@ -13,6 +13,7 @@
 #include <fstream>
 #include <iterator>
 #include <memory>
+#include <mutex>
 #include <set>
 
 #include "chaos_util.hpp"
@@ -884,6 +885,163 @@ class FlightDumpOnFailure : public ::testing::EmptyTestEventListener {
                  obs::FlightRecorder::global().dump().c_str());
   }
 };
+
+// ---- Sharded engine: shard-count invariance of seeded faulted runs ---------
+//
+// The conservative windowed driver promises that a seeded chaos run is a
+// function of (seed) alone, not of the shard count: hosts fork their RNGs
+// from the first engine in creation order, fault lanes derive per source
+// host, and cross-shard mailboxes drain in (arrival, source shard, seq)
+// order.  Four sites (worker + gateway each) on per-site LANs, gateways
+// ringed over a WAN — the WAN is the only network that crosses shards, so
+// its 18 ms latency is the lookahead.  SRUDP flows run within each site and
+// around the gateway ring while burst loss, duplication, reordering, a WAN
+// partition and a gateway crash all fire.  The canonical trace digest and
+// the delivery ledgers must come out bit-identical for 1, 2 and 4 shards.
+
+struct ShardedResult {
+  bool intact = false;
+  std::string why;
+  std::uint64_t delivered = 0;
+  std::uint64_t drops_fault = 0;
+  std::uint64_t cross_shard = 0;
+  std::uint64_t windows = 0;
+  std::string digest;
+};
+
+ShardedResult run_sharded_sites(std::uint64_t seed, std::size_t shards) {
+  constexpr std::size_t kSites = 4;
+  obs::Tracer::global().clear();
+  // The ring must hold the whole run: once it wraps, *which* events survive
+  // depends on record order, which is thread-interleaving-dependent.
+  obs::Tracer::global().set_capacity(1 << 20);
+
+  ShardedResult r;
+  {
+    World world(seed, shards);
+    for (std::size_t i = 0; i < kSites; ++i)
+      world.create_network("lan" + std::to_string(i), simnet::ethernet100());
+    world.create_network("wan", simnet::wan_t3());
+    // Same creation order for every shard count — host RNG forks depend on
+    // it — only the placement (site -> shard) varies.
+    std::vector<simnet::Host*> workers, gateways;
+    for (std::size_t i = 0; i < kSites; ++i) {
+      std::size_t shard = i % shards;
+      simnet::Host& w = world.create_host("w" + std::to_string(i), shard);
+      simnet::Host& g = world.create_host("g" + std::to_string(i), shard);
+      world.attach(w, *world.network("lan" + std::to_string(i)));
+      world.attach(g, *world.network("lan" + std::to_string(i)));
+      world.attach(g, *world.network("wan"));
+      workers.push_back(&w);
+      gateways.push_back(&g);
+    }
+
+    // SRUDP flows: w_i -> g_i within each site, g_i -> g_(i+1) around the
+    // WAN ring.
+    std::vector<std::unique_ptr<transport::SrudpEndpoint>> eps;
+    // One ledger shared by all sites: gateways on different shards deliver
+    // from different worker threads, so handler access takes a lock (the
+    // per-sender vectors keep their per-flow order either way).
+    chaos::DeliveryLedger ledger;
+    std::mutex ledger_mu;
+    for (std::size_t i = 0; i < kSites; ++i) {
+      eps.push_back(std::make_unique<transport::SrudpEndpoint>(*workers[i], 7000));
+      eps.push_back(std::make_unique<transport::SrudpEndpoint>(*gateways[i], 7000));
+      transport::SrudpEndpoint& gw = *eps.back();
+      gw.set_handler([&ledger, &ledger_mu](const Address& src, Payload m) {
+        std::lock_guard<std::mutex> lock(ledger_mu);
+        ledger.on_deliver(src.host, std::move(m));
+      });
+    }
+
+    FaultPlan plan(world, seed * 0x9E3779B97F4A7C15ULL + 1);
+    FaultProfile profile;
+    profile.burst = {/*p_enter_bad=*/0.01, /*p_exit_bad=*/0.25,
+                     /*loss_good=*/0.005, /*loss_bad=*/0.5};
+    profile.duplicate = 0.03;
+    profile.reorder = 0.05;
+    profile.reorder_jitter = duration::milliseconds(2);
+    plan.inject("wan", profile);
+    plan.inject("lan1", profile);
+    plan.partition("wan", {{"g0", "g1"}, {"g2", "g3"}}, duration::milliseconds(301),
+                   duration::milliseconds(603));
+    plan.crash_host("g3", duration::milliseconds(701), duration::milliseconds(903));
+
+    // Workload on the hosts' own engines, staggered with coprime periods so
+    // no two cross-shard flows collide on one destination at one instant.
+    const std::uint32_t kMsgs = 10;
+    for (std::size_t i = 0; i < kSites; ++i) {
+      transport::SrudpEndpoint& wtx = *eps[2 * i];
+      transport::SrudpEndpoint& gtx = *eps[2 * i + 1];
+      const Address site_dst{"g" + std::to_string(i), 7000};
+      const Address ring_dst{"g" + std::to_string((i + 1) % kSites), 7000};
+      for (std::uint32_t j = 0; j < kMsgs; ++j) {
+        std::uint32_t idx = static_cast<std::uint32_t>(i) * 100 + j;
+        Bytes intra = chaos::chaos_payload(
+            1 + (idx * 37u) % 3000, seed, idx);
+        ledger.expect_sent("w" + std::to_string(i), intra);
+        workers[i]->engine().schedule_at(
+            duration::milliseconds(5 + 17 * static_cast<SimTime>(i)) +
+                duration::milliseconds(23 + 2 * static_cast<SimTime>(i)) * j,
+            [&wtx, site_dst, intra = std::move(intra)]() mutable {
+              wtx.send(site_dst, std::move(intra));
+            });
+        Bytes ring = chaos::chaos_payload(
+            1 + (idx * 53u) % 3000, seed, 10000 + idx);
+        ledger.expect_sent("g" + std::to_string(i), ring);
+        gateways[i]->engine().schedule_at(
+            duration::milliseconds(11 + 13 * static_cast<SimTime>(i)) +
+                duration::milliseconds(29 + 2 * static_cast<SimTime>(i)) * j,
+            [&gtx, ring_dst, ring = std::move(ring)]() mutable {
+              gtx.send(ring_dst, std::move(ring));
+            });
+      }
+    }
+
+    world.run_until(duration::seconds(25));
+
+    r.intact = ledger.intact(&r.why);
+    for (std::size_t i = 0; i < kSites; ++i)
+      r.delivered += eps[2 * i + 1]->stats().messages_delivered.v;
+    r.drops_fault = world.network("wan")->stats().drops_fault +
+                    world.network("lan1")->stats().drops_fault;
+    r.cross_shard = world.run_stats().cross_shard_packets;
+    r.windows = world.run_stats().windows;
+    EXPECT_EQ(obs::Tracer::global().dropped(), 0u) << "trace ring wrapped";
+    r.digest = chaos::trace_digest_canonical("flow") +
+               "|delivered=" + std::to_string(r.delivered) +
+               "|dropsF=" + std::to_string(r.drops_fault);
+  }
+  obs::Tracer::global().set_capacity(16384);
+  return r;
+}
+
+TEST(ChaosSharded, SeededFaultedRunDigestInvariantAcrossShardCounts) {
+  for (int i = 0; i < 2; ++i) {
+    std::uint64_t seed = chaos::chaos_seed() + 40 + static_cast<std::uint64_t>(i);
+    ShardedResult one = run_sharded_sites(seed, 1);
+    EXPECT_TRUE(one.intact) << "seed " << seed << ": " << one.why;
+    EXPECT_EQ(one.delivered, 80u) << "seed " << seed;
+    EXPECT_GT(one.drops_fault, 0u) << "seed " << seed << ": fault layer never bit";
+    EXPECT_EQ(one.cross_shard, 0u);
+
+    ShardedResult two = run_sharded_sites(seed, 2);
+    EXPECT_TRUE(two.intact) << "seed " << seed << " shards=2: " << two.why;
+    EXPECT_GT(two.cross_shard, 0u) << "no traffic crossed shards; test is vacuous";
+    EXPECT_GT(two.windows, 0u);
+    EXPECT_EQ(one.digest, two.digest) << "seed " << seed << ": shards=2 diverged";
+
+    ShardedResult four = run_sharded_sites(seed, 4);
+    EXPECT_TRUE(four.intact) << "seed " << seed << " shards=4: " << four.why;
+    EXPECT_GT(four.cross_shard, 0u);
+    EXPECT_EQ(one.digest, four.digest) << "seed " << seed << ": shards=4 diverged";
+
+    // And the sharded run must replay bit-identically against itself.
+    ShardedResult again = run_sharded_sites(seed, 2);
+    EXPECT_EQ(two.digest, again.digest) << "seed " << seed << ": shards=2 did not replay";
+    chaos::log_digest("sharded_sites", seed, one.digest);
+  }
+}
 
 const bool kFlightListenerInstalled = [] {
   ::testing::UnitTest::GetInstance()->listeners().Append(new FlightDumpOnFailure);

@@ -68,6 +68,27 @@ inline std::string trace_digest(const std::string& exclude_cat = {}) {
   return out;
 }
 
+/// Canonical-order variant for sharded runs: record order interleaves
+/// nondeterministically when shard worker threads trace concurrently, so
+/// this digests Tracer::events_canonical() — stably sorted by (ts, cat,
+/// name, ...), a pure function of the per-timestamp event multiset.  The
+/// sharded engine's determinism contract (DESIGN.md §sharded-engine) makes
+/// that multiset identical for every shard count of the same seeded world,
+/// which is exactly what ChaosSharded asserts.
+inline std::string trace_digest_canonical(const std::string& exclude_cat = {}) {
+  std::string out;
+  for (const auto& e : obs::Tracer::global().events_canonical()) {
+    if (!exclude_cat.empty() && e.cat == exclude_cat) continue;
+    out += std::to_string(e.ts);
+    out += ':';
+    out += e.cat;
+    out += '/';
+    out += e.name;
+    out += ';';
+  }
+  return out;
+}
+
 /// Multi-category variant: the fleet-telemetry determinism test compares an
 /// exporter-on run against an exporter-off run, which must match once both
 /// the "flow" and "telemetry" categories are set aside.

@@ -582,5 +582,117 @@ TEST(Fault, PlanWindowsFireAtScheduledVirtualTimes) {
   EXPECT_EQ(faults[3], (std::pair<std::int64_t, std::string>{milliseconds(70), "partition.heal"}));
 }
 
+// ---- Sharded engine: conservative-window primitives and the World driver ----
+
+TEST(Engine, RunBeforeIsExclusiveAndKeepsClockAtLastEvent) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(50, [&] { order.push_back(0); });
+  engine.schedule_at(100, [&] { order.push_back(1); });
+  // Window [0, 100): the t=100 event is the horizon and must not run.
+  EXPECT_EQ(engine.run_before(100), 1u);
+  EXPECT_EQ(order, (std::vector<int>{0}));
+  EXPECT_EQ(engine.now(), 50);  // not advanced to the horizon
+  EXPECT_EQ(engine.next_event_time(), 100);
+  engine.run_before(101);
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+  EXPECT_EQ(engine.next_event_time(), Engine::kNever);
+  engine.advance_to(500);
+  EXPECT_EQ(engine.now(), 500);
+}
+
+TEST(Engine, EqualTimeFifoHoldsAcrossWindowBarrier) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(100, [&] { order.push_back(1); });
+  engine.schedule_at(100, [&] { order.push_back(2); });
+  engine.run_before(100);  // barrier: nothing at t < 100 to run
+  // A cross-shard arrival at exactly t=100, inserted at the barrier, was
+  // scheduled after the two local events and must fire after them.
+  engine.schedule_at(100, [&] { order.push_back(3); });
+  engine.run_before(101);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, RunBeforeCanStopAtStrongExhaustion) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_weak(10, [&] { order.push_back(0); });
+  engine.schedule(20, [&] { order.push_back(1); });
+  engine.schedule_weak(30, [&] { order.push_back(2); });
+  // Engine::run semantics per window: weak events run while a strong event
+  // is still pending, and the run stops once none are.
+  EXPECT_EQ(engine.run_before(100, /*weak_too=*/false), 2u);
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+  EXPECT_EQ(engine.strong_pending(), 0u);
+  EXPECT_EQ(engine.run_before(100, /*weak_too=*/true), 1u);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(World, ShardedCrossShardDeliveryArrives) {
+  World world(7, /*shards=*/2);
+  auto& net = world.create_network("wan", wan_t3());
+  auto& a = world.create_host("a", 0);
+  auto& b = world.create_host("b", 1);
+  world.attach(a, net);
+  world.attach(b, net);
+  int received = 0;
+  b.bind(5, [&](const Packet&) { ++received; }).value();
+  a.engine().schedule_at(duration::milliseconds(1),
+                         [&] { a.send({"b", 5}, Bytes(64, 0x5A)).value(); });
+  world.run_until(duration::seconds(1));
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(world.lookahead(), wan_t3().latency);
+  EXPECT_GE(world.run_stats().cross_shard_packets, 1u);
+  EXPECT_GE(world.run_stats().windows, 1u);
+  EXPECT_EQ(world.now(), duration::seconds(1));
+}
+
+TEST(World, MailboxDrainOrdersEqualArrivalsBySourceShard) {
+  // Two senders on different shards whose packets reach the same
+  // destination at the identical virtual time: the barrier drain must
+  // order them by source shard, not by which worker thread got there
+  // first.  Swapping the placement must swap the delivery order.
+  for (int flip = 0; flip < 2; ++flip) {
+    World world(9, /*shards=*/3);
+    auto& net = world.create_network("wan", wan_t3());
+    auto& d = world.create_host("d", 0);
+    auto& a = world.create_host("a", flip != 0 ? 2 : 1);
+    auto& b = world.create_host("b", flip != 0 ? 1 : 2);
+    world.attach(d, net);
+    world.attach(a, net);
+    world.attach(b, net);
+    std::vector<std::string> order;
+    d.bind(5, [&](const Packet& p) { order.push_back(p.src.host); }).value();
+    a.engine().schedule_at(duration::milliseconds(1),
+                           [&] { a.send({"d", 5}, Bytes(100, 1)).value(); });
+    b.engine().schedule_at(duration::milliseconds(1),
+                           [&] { b.send({"d", 5}, Bytes(100, 2)).value(); });
+    world.run_until(duration::seconds(1));
+    ASSERT_EQ(order.size(), 2u) << "flip " << flip;
+    EXPECT_EQ(order[0], flip != 0 ? "b" : "a") << "lower source shard delivers first";
+  }
+}
+
+TEST(World, SingleShardRunUntilMatchesEngineRunUntil) {
+  auto run = [](bool via_world) {
+    World world(1234);
+    auto& net = world.create_network("n", internet_lossy());
+    auto& a = world.create_host("a");
+    auto& b = world.create_host("b");
+    world.attach(a, net);
+    world.attach(b, net);
+    std::vector<SimTime> arrivals;
+    b.bind(1, [&](const Packet&) { arrivals.push_back(world.now()); }).value();
+    for (int i = 0; i < 100; ++i) a.send({"b", 1}, Bytes(100, 0)).value();
+    if (via_world)
+      world.run_until(duration::seconds(2));
+    else
+      world.engine().run_until(duration::seconds(2));
+    return arrivals;
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
 }  // namespace
 }  // namespace snipe::simnet
