@@ -13,6 +13,7 @@
 //
 // Metrics are virtual-time: sim_MBps is what Fig. 1's y-axis shows.
 #include "bench_util.hpp"
+#include "simnet/topo.hpp"
 #include "transport/srudp.hpp"
 #include "transport/stream.hpp"
 
@@ -146,6 +147,55 @@ BENCHMARK(BM_Fig1Latency)
     ->Args({1, 2})
     ->Args({0, 4})
     ->Args({1, 4})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+// Fig. 1 re-run across a datacenter topology: the same SRUDP size sweep,
+// but sender and receiver sit in *different racks* of a fat-tree, so every
+// fragment pays four serialize+propagate hops (rack -> uplink -> uplink ->
+// rack) through ToR and spine routers instead of one shared segment.  The
+// embedded srudp.delivery_ms histogram makes the per-hop latency tax
+// visible next to the flat-Fig.-1 rows; goodput converges to the thinnest
+// link on the path (the uplinks, equal media here) minus the extra hops'
+// framing.
+void BM_Fig1Datacenter(benchmark::State& state) {
+  const std::size_t size = static_cast<std::size_t>(state.range(0));
+  const int count = static_cast<int>(std::max<std::int64_t>(1, kTransferTarget / size));
+  double secs = 0;
+  for (auto _ : state) {
+    reset_metrics();
+    simnet::World world(42);
+    simnet::FatTreeOptions opt;  // 2 racks, 2 hosts each, 2 spines, all eth100
+    simnet::build_fat_tree(world, "dc", opt);
+    transport::SrudpEndpoint tx(*world.host("dc/h0_0"), 7001);
+    transport::SrudpEndpoint rx(*world.host("dc/h1_0"), 7002);
+    int delivered = 0;
+    rx.set_handler([&](const simnet::Address&, Payload) { ++delivered; });
+    SimTime start = world.now();
+    for (int i = 0; i < count; ++i) tx.send(rx.address(), Bytes(size, 0x5a));
+    world.engine().run();
+    secs = to_seconds(world.now() - start);
+    if (delivered != count) {
+      state.SkipWithError("transfer incomplete");
+      return;
+    }
+  }
+  double bytes = static_cast<double>(size) * count;
+  state.counters["sim_MBps"] = bytes / secs / 1e6;
+  state.counters["msg_bytes"] = static_cast<double>(size);
+  embed_metrics(state, "srudp.");
+  state.SetLabel("SNIPE-srudp/fat-tree-cross-rack");
+}
+
+BENCHMARK(BM_Fig1Datacenter)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Arg(16384)
+    ->Arg(65536)
+    ->Arg(262144)
+    ->Arg(1048576)
+    ->Arg(4194304)
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 

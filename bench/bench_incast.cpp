@@ -1,0 +1,95 @@
+// T-incast: N-to-1 fan-in across an oversubscribed fat-tree (EXPERIMENTS.md
+// §T-incast).
+//
+// N senders spread over the non-receiver racks all push SRUDP traffic at a
+// single host in rack 0.  The cluster is deliberately oversubscribed: rack
+// segments are 100 Mb Ethernet but every ToR<->spine uplink is 10 Mb, so
+// however many senders join, aggregate goodput into rack 0 is capped by
+// the spine-side uplinks (spines x 10 Mb), not by the receiver's segment.
+// ECMP spreads distinct (src, dst) pairs across spines, so the fan-in
+// saturates both planes.  The harness *enforces* the cap — goodput above
+// the bottleneck's raw bit rate means the contention model leaked — and
+// reports goodput alongside it so the baseline diff shows both.
+//
+// Metrics are virtual-time: sim_MBps is payload goodput at the receiver.
+#include "bench_util.hpp"
+#include "simnet/topo.hpp"
+#include "transport/srudp.hpp"
+
+namespace {
+
+using namespace snipe;
+using namespace snipe::bench;
+
+constexpr std::size_t kMsgBytes = 16384;
+constexpr int kMsgsPerSender = 32;  // 512 KiB per sender
+
+void BM_Incast(benchmark::State& state) {
+  const int fanin = static_cast<int>(state.range(0));
+  double secs = 0;
+  double bottleneck_bps = 0;
+  for (auto _ : state) {
+    reset_metrics();
+    simnet::World world(42);
+    simnet::FatTreeOptions opt;
+    opt.racks = 5;
+    opt.hosts_per_rack = 4;
+    opt.spines = 2;
+    opt.rack_media = simnet::ethernet100();
+    opt.uplink_media = simnet::ethernet10();  // 2 x 10 Mb up vs 100 Mb racks
+    simnet::build_fat_tree(world, "dc", opt);
+    // Everything bound for rack 0 funnels through the spine->ToR0 uplinks;
+    // the receiver's shared segment (100 Mb) never binds first.
+    bottleneck_bps = static_cast<double>(opt.spines) * opt.uplink_media.bandwidth_bps;
+
+    transport::SrudpEndpoint rx(*world.host("dc/h0_0"), 7000);
+    int delivered = 0;
+    rx.set_handler([&](const simnet::Address&, Payload) { ++delivered; });
+
+    // Senders fill racks 1..4 in order: fanin 4 exercises one remote rack,
+    // fanin 16 all four (and both spine planes via ECMP).
+    std::vector<std::unique_ptr<transport::SrudpEndpoint>> senders;
+    for (int n = 0; n < fanin; ++n) {
+      std::size_t rack = 1 + static_cast<std::size_t>(n) / opt.hosts_per_rack;
+      std::size_t slot = static_cast<std::size_t>(n) % opt.hosts_per_rack;
+      simnet::Host* h = world.host("dc/h" + std::to_string(rack) + "_" +
+                                   std::to_string(slot));
+      senders.push_back(std::make_unique<transport::SrudpEndpoint>(*h, 7001));
+    }
+
+    SimTime start = world.now();
+    for (auto& tx : senders)
+      for (int i = 0; i < kMsgsPerSender; ++i)
+        tx->send(rx.address(), Bytes(kMsgBytes, 0x5a));
+    world.engine().run();
+    secs = to_seconds(world.now() - start);
+    if (delivered != fanin * kMsgsPerSender) {
+      state.SkipWithError("incast incomplete");
+      return;
+    }
+  }
+  double bytes = static_cast<double>(kMsgBytes) * kMsgsPerSender * fanin;
+  double goodput_bps = bytes * 8 / secs;
+  if (goodput_bps > bottleneck_bps) {
+    state.SkipWithError("goodput exceeds the bottleneck uplinks — contention leak");
+    return;
+  }
+  state.counters["sim_MBps"] = bytes / secs / 1e6;
+  state.counters["bottleneck_MBps"] = bottleneck_bps / 8 / 1e6;
+  state.counters["fanin"] = fanin;
+  embed_metrics(state, "srudp.");
+  state.SetLabel("fat-tree 4+1 racks, 2 spines, 10Mb uplinks");
+}
+
+BENCHMARK(BM_Incast)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

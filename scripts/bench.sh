@@ -32,7 +32,7 @@ if [ "${1:-}" = "--bless" ]; then
 fi
 BUILD_DIR="${1:-build-rel}"
 BASELINE_DIR="bench/baseline"
-BENCHES="bench_datapath bench_fig1_bandwidth bench_fileserv"
+BENCHES="bench_datapath bench_fig1_bandwidth bench_fileserv bench_incast"
 
 # Refuse non-Release trees instead of silently reconfiguring them: the
 # pre-configure check keeps bench.sh from flipping a dev/debug/sanitizer

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Zone chaos sweep: runs the routing-zone unit tests once as a preflight,
+# then reruns the zoned-topology chaos scenario (ChaosTopo.*) across N
+# seeds.  Each seed drives the 4-site gateway-ring world through link_down
+# reroutes, end-to-end partitions on routed paths, and a host crash, and
+# requires the digest to come out bit-identical for 1, 2 and 4 shards — so
+# a sweep is N independent checks that multi-hop routing, route-cache
+# invalidation and the sharded engine agree.
+#
+# Usage: scripts/topo_sweep.sh [N] [build-dir]     (defaults: 10, build)
+# Env:   SNIPE_CHAOS_BASE_SEED    first seed of the sweep (default 20260807)
+#
+# Registered as the ctest test "topo_sweep" (label "topo") when CMake is
+# configured with -DSNIPE_CHAOS_TOPO=ON; off by default so the tier-1
+# suite's runtime stays flat.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+N="${1:-10}"
+BUILD_DIR="${2:-build}"
+CHAOS_BIN="$BUILD_DIR/tests/chaos_test"
+TOPO_BIN="$BUILD_DIR/tests/topo_test"
+
+for bin in "$CHAOS_BIN" "$TOPO_BIN"; do
+  if [ ! -x "$bin" ]; then
+    echo "topo_sweep: $bin not built (cmake --build $BUILD_DIR)" >&2
+    exit 2
+  fi
+done
+
+# Preflight: the fixed-seed routing-zone unit tests (serialize edges, route
+# resolution, cache invalidation, contention) must hold before sweeping.
+echo "==== topo sweep: preflight (topo_test) ===="
+if ! "$TOPO_BIN" --gtest_brief=1; then
+  echo "topo_sweep: routing-zone unit tests failed; reproduce with: $TOPO_BIN" >&2
+  exit 1
+fi
+
+BASE="${SNIPE_CHAOS_BASE_SEED:-20260807}"
+for i in $(seq 0 $((N - 1))); do
+  seed=$((BASE + i * 1000003))
+  echo "==== topo sweep: seed $seed ($((i + 1))/$N) ===="
+  if ! SNIPE_CHAOS_SEED=$seed "$CHAOS_BIN" --gtest_brief=1 \
+      --gtest_filter='ChaosTopo.*'; then
+    echo "topo_sweep: zoned chaos invariant tripped at seed $seed" >&2
+    echo "reproduce with: SNIPE_CHAOS_SEED=$seed $CHAOS_BIN --gtest_filter='ChaosTopo.*'" >&2
+    exit 1
+  fi
+done
+echo "topo_sweep: $N seeds clean"

@@ -214,6 +214,12 @@ void Console::interpret(const std::string& line, std::function<void(std::string)
     reply(health_report(obs::MetricsRegistry::global().snapshot()));
     return;
   }
+  if (verb == "topo") {
+    // Where contention and partitions live: the zone tree with per-link
+    // utilization and up/down state, straight from the simulated world.
+    reply(process_.host().world()->describe_topology());
+    return;
+  }
   if (verb == "fleet") {
     if (fleet_ == nullptr) {
       reply("fleet: no collector attached to this console");
@@ -250,7 +256,7 @@ void Console::interpret(const std::string& line, std::function<void(std::string)
   }
   reply(
       "usage: ps <host-url> | state <urn> | meta <uri> | where <urn> | routers <group> | "
-      "metrics [prefix] | trace <id> | flight [host] | health | fleet <sub> [arg]");
+      "metrics [prefix] | trace <id> | flight [host] | health | topo | fleet <sub> [arg]");
 }
 
 Bytes HttpRequest::encode() const {
@@ -423,7 +429,8 @@ HttpResponse text_response(int status, const std::string& text) {
 }  // namespace
 
 OpsGateway::OpsGateway(SnipeProcess& process, std::string service_uri)
-    : server_(process, std::move(service_uri),
+    : process_(process),
+      server_(process, std::move(service_uri),
               [this](const HttpRequest& request) { return handle(request); }) {}
 
 HttpResponse OpsGateway::handle(const HttpRequest& request) const {
@@ -445,6 +452,8 @@ HttpResponse OpsGateway::handle(const HttpRequest& request) const {
       return text_response(400, "usage: /trace?id=<flow-or-msg-id>\n");
     return text_response(200, trace_report(obs::Tracer::global().events(), it->second));
   }
+  if (path == "/topo")
+    return text_response(200, process_.host().world()->describe_topology());
   if (path.rfind("/fleet/", 0) == 0) {
     if (fleet_ == nullptr)
       return text_response(404, "no fleet collector attached\n");

@@ -60,6 +60,7 @@ std::string fleet_health_report(const obs::FleetStore& store, std::int64_t now_n
 ///   trace <id>             flow-event trail of one message (flow or msg id)
 ///   flight [host]          recent flight-recorder events, optionally per host
 ///   health                 delivery-latency / retransmit / failover rollup
+///   topo                   zone tree with per-link utilization + up/down state
 ///   fleet metrics [prefix] fleet-merged registry scrape (set_fleet first)
 ///   fleet health           per-host liveness + fleet-merged health rollup
 ///   fleet flight [host]    fleet flight timeline, merge-sorted by time
@@ -188,6 +189,7 @@ std::string to_http_text(const HttpResponse& response);
 ///   GET /health                    health_report() over a live snapshot
 ///   GET /flight[?host=a]           flight-recorder dump, optionally per host
 ///   GET /trace?id=<flow-or-msg>    trace_report() for one causal flow
+///   GET /topo                      zone tree, per-link utilization, up/down
 ///
 /// With a fleet store attached (set_fleet), the local surface grows its
 /// fleet-wide counterpart, answered from collected beacons instead of this
@@ -212,6 +214,7 @@ class OpsGateway {
   std::uint64_t requests_served() const { return server_.requests_served(); }
 
  private:
+  SnipeProcess& process_;
   HttpServer server_;
   const obs::FleetStore* fleet_ = nullptr;
 };

@@ -116,8 +116,8 @@ void MulticastGroup::maybe_elect_self(const std::vector<simnet::Address>& router
   // routers, or if no existing router shares a network with us.
   bool shares_network = false;
   for (const auto& r : routers) {
-    if (files::net_distance(*process_.host().world(), process_.host().name(), r.host) <
-        std::numeric_limits<SimDuration>::max())
+    if (process_.host().world()->net_distance(process_.host().name(), r.host) <
+        simnet::World::kUnreachable)
       shares_network = true;
   }
   bool should_host = !router_ && !left_ &&

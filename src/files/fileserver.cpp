@@ -41,18 +41,7 @@ std::uint64_t add_extent(std::map<std::uint64_t, std::uint64_t>& extents,
 }  // namespace
 
 SimDuration net_distance(simnet::World& world, const std::string& a, const std::string& b) {
-  if (a == b) return 0;
-  simnet::Host* ha = world.host(a);
-  simnet::Host* hb = world.host(b);
-  if (ha == nullptr || hb == nullptr) return std::numeric_limits<SimDuration>::max();
-  SimDuration best = std::numeric_limits<SimDuration>::max();
-  for (const auto& nic : ha->nics()) {
-    if (!nic->up() || !nic->network()->up()) continue;
-    auto* theirs = hb->nic_on(nic->network()->name());
-    if (theirs == nullptr || !theirs->up()) continue;
-    best = std::min(best, nic->network()->model().latency);
-  }
-  return best;
+  return world.net_distance(a, b);
 }
 
 FileServer::FileServer(simnet::Host& host, std::vector<simnet::Address> rc_replicas,
@@ -529,7 +518,7 @@ std::vector<simnet::Address> FileClient::rank_candidates(
                    [&](const simnet::Address& a, const simnet::Address& b) {
                      int fa = failures(a), fb = failures(b);
                      if (fa != fb) return fa < fb;
-                     return net_distance(*world, me, a.host) < net_distance(*world, me, b.host);
+                     return world->net_distance(me, a.host) < world->net_distance(me, b.host);
                    });
   return servers;
 }

@@ -252,9 +252,10 @@ class FileClient {
   Logger log_;
 };
 
-/// Network distance between two hosts in `world`: 0 for the same host, the
-/// best shared-network latency otherwise, and +inf (max SimDuration) when
-/// no network is shared.
-SimDuration net_distance(simnet::World& world, const std::string& a, const std::string& b);
+/// Deprecated shim: forwards to simnet::World::net_distance, which ranks
+/// non-adjacent hosts by their resolved multi-hop route latency instead of
+/// the old +inf.  New code should call the World method directly.
+[[deprecated("use simnet::World::net_distance")]] SimDuration net_distance(
+    simnet::World& world, const std::string& a, const std::string& b);
 
 }  // namespace snipe::files

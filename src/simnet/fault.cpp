@@ -27,22 +27,29 @@ bool FaultInjector::in_bad_state() const {
 }
 
 FaultVerdict FaultInjector::judge(const std::string& src, const std::string& dst) {
+  return judge(src, src, dst);
+}
+
+FaultVerdict FaultInjector::judge(const std::string& lane_name, const std::string& src,
+                                  const std::string& dst) {
   ++stats_.packets_judged;
   FaultVerdict v;
 
-  // Partition first: no randomness involved, the boundary is absolute.
+  // Partition first: no randomness involved, the boundary is absolute and
+  // end-to-end — a routed packet crossing a partitioned gateway drops no
+  // matter which hop judges it.
   if (partitioned(src, dst)) {
     ++stats_.drops_partition;
     v.drop = true;
     return v;
   }
 
-  // The source's burst chain advances exactly once per judged packet.  All
+  // The lane's burst chain advances exactly once per judged packet.  All
   // draws happen in a fixed order (state, loss, duplicate, reorder,
   // corrupt) so the random sequence — and therefore the whole run —
-  // depends only on the seed and the source's packet sequence, never on
+  // depends only on the seed and the lane's packet sequence, never on
   // which branches were taken.
-  Lane& ln = lane(src);
+  Lane& ln = lane(lane_name);
   Rng& rng = ln.rng;
   ln.bad = ln.bad ? !rng.chance(profile_.burst.p_exit_bad)
                   : rng.chance(profile_.burst.p_enter_bad);
@@ -227,10 +234,15 @@ void FaultPlan::partition(const std::string& network,
       [this, network, groups = std::move(groups)] {
         FaultInjector* f = injector(network);
         if (f != nullptr) f->set_partition(groups);
+        // Reachability changed: cached routes must re-resolve (transports
+        // probing alternate paths should not keep riding a path whose
+        // gateway now sits across the boundary).
+        world_.bump_route_epoch();
       });
   act(heal_at, "partition.heal", {{"network", network}}, [this, network] {
     FaultInjector* f = injector(network);
     if (f != nullptr) f->heal_partition();
+    world_.bump_route_epoch();
   });
 }
 

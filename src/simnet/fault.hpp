@@ -110,6 +110,14 @@ class FaultInjector {
   /// shard's thread.
   FaultVerdict judge(const std::string& src, const std::string& dst);
 
+  /// Routed-packet variant: `lane` names the *transmitting* node for this
+  /// hop (the forwarding router on interior hops), while the partition
+  /// boundary is still judged on the packet's end-to-end (src, dst) pair.
+  /// With lane == src this is exactly the two-argument form — the direct
+  /// delivery path keeps its bit-for-bit draw sequence.
+  FaultVerdict judge(const std::string& lane, const std::string& src,
+                     const std::string& dst);
+
   /// Flips 1..corrupt_max_bytes bytes of `wire` (no-op on empty), drawing
   /// from `src`'s lane; the two-argument forms are what the delivery path
   /// uses.  The src-less legacy forms draw from a dedicated default lane.

@@ -1,0 +1,206 @@
+#include "simnet/topo.hpp"
+
+#include <cassert>
+#include <cstdio>
+
+namespace snipe::simnet {
+
+Host& Zone::create_host(const std::string& name) {
+  Host& h = world_->create_host(name, shard_);
+  h.zone_ = this;
+  hosts_.push_back(&h);
+  return h;
+}
+
+Router& Zone::create_router(const std::string& name) {
+  Router& r = world_->create_router(name, shard_);
+  r.zone_ = this;
+  routers_.push_back(&r);
+  return r;
+}
+
+Network& Zone::create_network(const std::string& name, MediaModel model) {
+  Network& n = world_->create_network(name, std::move(model));
+  n.zone_ = this;
+  networks_.push_back(&n);
+  world_->bump_route_epoch();
+  return n;
+}
+
+Zone& World::create_zone(const std::string& name, Zone* parent, std::size_t shard) {
+  assert(!zones_by_name_.count(name) && "duplicate zone name");
+  if (shard == kAutoShard)
+    shard = parent != nullptr ? parent->shard() : (next_top_zone_++ % engines_.size());
+  assert(shard < engines_.size() && "zone shard out of range");
+  std::unique_ptr<Zone> zone(new Zone(this, name, parent, shard));
+  Zone& ref = *zone;
+  zones_.push_back(std::move(zone));
+  zones_by_name_[name] = &ref;
+  if (parent != nullptr)
+    parent->children_.push_back(&ref);
+  else
+    top_zones_.push_back(&ref);
+  return ref;
+}
+
+Zone* World::zone(const std::string& name) {
+  auto it = zones_by_name_.find(name);
+  return it == zones_by_name_.end() ? nullptr : it->second;
+}
+
+// ---- builders -------------------------------------------------------------
+
+Zone& build_lan(World& world, const std::string& name, std::size_t n_hosts, MediaModel media,
+                Zone* parent, const std::string& host_prefix) {
+  Zone& zone = world.create_zone(name, parent);
+  Network& lan = zone.create_network(name + "/lan", std::move(media));
+  std::string prefix = host_prefix.empty() ? name + "/h" : host_prefix;
+  for (std::size_t i = 0; i < n_hosts; ++i)
+    world.attach(zone.create_host(prefix + std::to_string(i)), lan);
+  Router& gw = zone.create_router(name + "/gw");
+  world.attach(gw, lan);
+  zone.set_gateway(&gw);
+  return zone;
+}
+
+Zone& build_star_lan(World& world, const std::string& name, std::size_t n_hosts,
+                     MediaModel link_media, Zone* parent, const std::string& host_prefix) {
+  Zone& zone = world.create_zone(name, parent);
+  Router& hub = zone.create_router(name + "/hub");
+  zone.set_gateway(&hub);
+  std::string prefix = host_prefix.empty() ? name + "/h" : host_prefix;
+  for (std::size_t i = 0; i < n_hosts; ++i) {
+    Host& host = zone.create_host(prefix + std::to_string(i));
+    Network& link = zone.create_network(name + "/l" + std::to_string(i), link_media);
+    world.attach(host, link);
+    world.attach(hub, link);
+  }
+  return zone;
+}
+
+Zone& build_fat_tree(World& world, const std::string& name, const FatTreeOptions& opt,
+                     Zone* parent) {
+  assert(opt.racks >= 1 && opt.hosts_per_rack >= 1 && opt.spines >= 1);
+  Zone& zone = world.create_zone(name, parent);
+  std::string prefix = opt.host_prefix.empty() ? name + "/h" : opt.host_prefix;
+
+  std::vector<Router*> spines;
+  spines.reserve(opt.spines);
+  for (std::size_t s = 0; s < opt.spines; ++s)
+    spines.push_back(&zone.create_router(name + "/spine" + std::to_string(s)));
+
+  for (std::size_t r = 0; r < opt.racks; ++r) {
+    Network& rack = zone.create_network(name + "/rack" + std::to_string(r), opt.rack_media);
+    Router& tor = zone.create_router(name + "/tor" + std::to_string(r));
+    world.attach(tor, rack);
+    for (std::size_t i = 0; i < opt.hosts_per_rack; ++i)
+      world.attach(
+          zone.create_host(prefix + std::to_string(r) + "_" + std::to_string(i)), rack);
+    // One dedicated uplink per (ToR, spine) pair: equal cost, so route
+    // resolution's deterministic tie-break spreads host pairs across the
+    // spine planes (ECMP), and each uplink contends independently.
+    for (std::size_t s = 0; s < opt.spines; ++s) {
+      Network& up = zone.create_network(
+          name + "/up" + std::to_string(r) + "_" + std::to_string(s), opt.uplink_media);
+      world.attach(tor, up);
+      world.attach(*spines[s], up);
+    }
+  }
+
+  Network& core = zone.create_network(name + "/core", opt.core_media);
+  for (Router* s : spines) world.attach(*s, core);
+  Router& gw = zone.create_router(name + "/gw");
+  world.attach(gw, core);
+  zone.set_gateway(&gw);
+  return zone;
+}
+
+Network& connect_zones(Zone& a, Zone& b, MediaModel media, const std::string& name) {
+  assert(a.gateway() != nullptr && b.gateway() != nullptr &&
+         "connect_zones: both zones need a gateway router");
+  World& world = a.world();
+  std::string link_name = name.empty() ? a.name() + "--" + b.name() : name;
+  Zone* owner = a.parent() != nullptr && a.parent() == b.parent() ? a.parent() : &a;
+  Network& link = owner->create_network(link_name, std::move(media));
+  world.attach(*a.gateway(), link);
+  world.attach(*b.gateway(), link);
+  return link;
+}
+
+// ---- topology dump --------------------------------------------------------
+
+namespace {
+
+std::string human_bytes(std::uint64_t b) {
+  char buf[32];
+  if (b >= 1000000000ULL)
+    std::snprintf(buf, sizeof buf, "%.1fGB", static_cast<double>(b) / 1e9);
+  else if (b >= 1000000ULL)
+    std::snprintf(buf, sizeof buf, "%.1fMB", static_cast<double>(b) / 1e6);
+  else if (b >= 1000ULL)
+    std::snprintf(buf, sizeof buf, "%.1fkB", static_cast<double>(b) / 1e3);
+  else
+    std::snprintf(buf, sizeof buf, "%lluB", static_cast<unsigned long long>(b));
+  return buf;
+}
+
+void describe_network(const Network& net, SimTime now, const std::string& indent,
+                      std::string& out) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "%slink %s [%.1f Mbps, %lld ns] %s\n", indent.c_str(),
+                net.name().c_str(), net.model().bandwidth_bps / 1e6,
+                static_cast<long long>(net.model().latency), net.up() ? "up" : "DOWN");
+  out += buf;
+  for (const Nic* nic : net.nics()) {
+    const Node* node = nic->node();
+    double util = now > 0 ? 100.0 * static_cast<double>(nic->busy_ns()) /
+                                static_cast<double>(now)
+                          : 0.0;
+    std::snprintf(buf, sizeof buf, "%s  %-24s %-6s %-4s tx %llu pkts %s util %.1f%%\n",
+                  indent.c_str(), node->name().c_str(),
+                  node->is_router() ? "router" : "host",
+                  !node->up() ? "DOWN" : (nic->up() ? "up" : "nicDN"),
+                  static_cast<unsigned long long>(nic->tx_packets()),
+                  human_bytes(nic->tx_bytes()).c_str(), util);
+    out += buf;
+  }
+}
+
+void describe_zone(const Zone& zone, SimTime now, const std::string& indent,
+                   std::string& out) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "%szone %s [shard %zu] hosts %zu routers %zu%s%s\n",
+                indent.c_str(), zone.name().c_str(), zone.shard(), zone.hosts().size(),
+                zone.routers().size(), zone.gateway() != nullptr ? " gw " : "",
+                zone.gateway() != nullptr ? zone.gateway()->name().c_str() : "");
+  out += buf;
+  for (const Network* net : zone.networks()) describe_network(*net, now, indent + "  ", out);
+  for (const Zone* child : zone.children()) describe_zone(*child, now, indent + "  ", out);
+}
+
+}  // namespace
+
+std::string World::describe_topology() const {
+  SimTime t = ctrl_->now();
+  std::string out;
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "topology: %zu zones, %zu hosts, %zu routers, %zu networks, route epoch "
+                "%llu, now %lld\n",
+                zones_.size(), hosts_.size(), routers_.size(), networks_.size(),
+                static_cast<unsigned long long>(route_epoch()), static_cast<long long>(t));
+  out += buf;
+  for (const Zone* zone : top_zones_) describe_zone(*zone, t, "", out);
+  bool header = false;
+  for (const auto& [name, net] : networks_) {
+    if (net->zone() != nullptr) continue;
+    if (!header) {
+      out += "flat networks:\n";
+      header = true;
+    }
+    describe_network(*net, t, "  ", out);
+  }
+  return out;
+}
+
+}  // namespace snipe::simnet

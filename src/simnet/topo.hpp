@@ -1,0 +1,127 @@
+// Routing zones and composable datacenter topologies (DESIGN.md
+// §routing-zones; modeled on SimGrid's zone trees).
+//
+// A Zone is a named region of the topology: a rack, a site, a campus.
+// Zones form a tree; leaves hold media segments (plain Networks with the
+// existing MediaModels) and interior zones compose children via gateway
+// *routers* joined by gateway links — which are themselves plain Networks,
+// so fault actions (link_down, partitions) and per-NIC contention apply to
+// them unchanged.  The builders below assemble the three shapes SNIPE's
+// target environment (§3.4) is made of:
+//
+//   build_lan       one shared segment (Ethernet-style), all hosts plus an
+//                   edge-gateway router on the medium.
+//   build_star_lan  a hub router with a private point-to-point segment per
+//                   host (switched LAN: per-port contention).
+//   build_fat_tree  racks of hosts behind top-of-rack routers, a spine
+//                   layer, dedicated ToR<->spine uplinks (ECMP across
+//                   spines), a core segment and a border gateway.
+//   connect_zones   a gateway link (any media — typically wan_t3 or
+//                   internet_lossy) between two zones' gateway routers.
+//
+// Every zone carries a *shard*: hosts and routers created through the zone
+// land on that shard's engine, so with shard-by-zone placement (the
+// default: top-level zones round-robin across shards, children inherit)
+// cross-shard traffic is exactly cross-zone traffic and the sharded
+// engine's lookahead is the min inter-zone gateway latency.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "simnet/media.hpp"
+#include "simnet/world.hpp"
+
+namespace snipe::simnet {
+
+/// One region of the topology tree.  Created only via World::create_zone
+/// (or the builders); owned by the World.
+class Zone {
+ public:
+  const std::string& name() const { return name_; }
+  Zone* parent() const { return parent_; }
+  const std::vector<Zone*>& children() const { return children_; }
+  World& world() const { return *world_; }
+  /// The shard this zone's hosts and routers are created on.
+  std::size_t shard() const { return shard_; }
+
+  /// Creates a host in this zone, on the zone's shard — the "default shard
+  /// by zone" placement.  Name must be globally unique.
+  Host& create_host(const std::string& name);
+  /// Ditto for an interior forwarding node.
+  Router& create_router(const std::string& name);
+  /// Creates a media segment belonging to this zone.
+  Network& create_network(const std::string& name, MediaModel model);
+
+  /// The router external gateway links attach to (set by the builders, or
+  /// explicitly via set_gateway); nullptr until one exists.
+  Router* gateway() const { return gateway_; }
+  void set_gateway(Router* r) { gateway_ = r; }
+
+  const std::vector<Host*>& hosts() const { return hosts_; }
+  const std::vector<Router*>& routers() const { return routers_; }
+  const std::vector<Network*>& networks() const { return networks_; }
+
+ private:
+  friend class World;
+  Zone(World* world, std::string name, Zone* parent, std::size_t shard)
+      : world_(world), name_(std::move(name)), parent_(parent), shard_(shard) {}
+
+  World* world_;
+  std::string name_;
+  Zone* parent_;
+  std::size_t shard_;
+  std::vector<Zone*> children_;
+  Router* gateway_ = nullptr;
+  std::vector<Host*> hosts_;
+  std::vector<Router*> routers_;
+  std::vector<Network*> networks_;
+};
+
+/// A shared-medium LAN zone: `n_hosts` hosts named `<prefix>0..` (prefix
+/// defaults to "<name>/h") on one segment "<name>/lan", with an edge router
+/// "<name>/gw" on the same segment as the zone gateway.
+Zone& build_lan(World& world, const std::string& name, std::size_t n_hosts, MediaModel media,
+                Zone* parent = nullptr, const std::string& host_prefix = "");
+
+/// A switched (star) LAN zone: hub router "<name>/hub" (the gateway), and
+/// per host a private segment "<name>/l<i>" to the hub — so each port
+/// contends independently and the hub's egress NICs are the shared
+/// bottleneck, as on a real switch.
+Zone& build_star_lan(World& world, const std::string& name, std::size_t n_hosts,
+                     MediaModel link_media, Zone* parent = nullptr,
+                     const std::string& host_prefix = "");
+
+struct FatTreeOptions {
+  std::size_t racks = 2;
+  std::size_t hosts_per_rack = 2;
+  std::size_t spines = 2;
+  /// Shared rack segment medium (hosts + ToR).
+  MediaModel rack_media = ethernet100();
+  /// Dedicated ToR<->spine uplink medium; make it thinner than the sum of
+  /// rack bandwidth to create oversubscription.
+  MediaModel uplink_media = ethernet100();
+  /// Core segment (spines + border gateway) medium.
+  MediaModel core_media = ethernet100();
+  /// Host name prefix; hosts are "<prefix><rack>_<i>".  Empty -> "<name>/h".
+  std::string host_prefix;
+};
+
+/// A two-level fat-tree cluster zone:
+///   hosts "<prefix><r>_<i>" on rack segments "<name>/rack<r>" behind
+///   top-of-rack routers "<name>/tor<r>"; spine routers "<name>/spine<s>"
+///   reached over dedicated uplinks "<name>/up<r>_<s>" (equal-cost — route
+///   resolution spreads distinct host pairs across spines); a core segment
+///   "<name>/core" joining spines to the border gateway "<name>/gw".
+Zone& build_fat_tree(World& world, const std::string& name, const FatTreeOptions& opt,
+                     Zone* parent = nullptr);
+
+/// Joins two zones with a gateway link between their gateway routers.
+/// `name` defaults to "<a>--<b>".  Both zones must have gateways already
+/// (the builders set them).  The link belongs to the zones' common parent
+/// when they share one, else to `a` — either way fault actions on it bump
+/// the route epoch.
+Network& connect_zones(Zone& a, Zone& b, MediaModel media, const std::string& name = "");
+
+}  // namespace snipe::simnet

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <ctime>
+#include <queue>
 
 #include "simnet/fault.hpp"
+#include "simnet/topo.hpp"
 
 namespace snipe::simnet {
 
@@ -32,40 +34,111 @@ SimTime sat_add(SimTime a, SimTime b) {
   return b >= Engine::kNever - a ? Engine::kNever : a + b;
 }
 
-}  // namespace
+/// Deterministic equal-cost tie-break for route resolution: FNV-1a over the
+/// (src, dst, relaxed edge) names, so distinct host pairs spread across
+/// parallel fabric planes while one pair always takes one path.
+std::uint64_t route_tie(const std::string& src, const std::string& dst,
+                        const std::string& from, const std::string& to,
+                        const std::string& net) {
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](const std::string& s) {
+    for (unsigned char c : s) h = (h ^ c) * 1099511628211ULL;
+    h = (h ^ 0x1f) * 1099511628211ULL;  // separator: "ab"+"c" != "a"+"bc"
+  };
+  mix(src);
+  mix(dst);
+  mix(from);
+  mix(to);
+  mix(net);
+  return h;
+}
 
-/// Reordering is extra delivery delay; a duplicate is a second,
-/// independently-jittered arrival event.
-void Host::schedule_delivery(World* world, Network* net, Host* target, SimTime arrival,
-                             Packet packet) {
+/// Runs one about-to-fly datagram through `net`'s fault injector (if any)
+/// and hands each surviving copy — the jittered duplicate first, as always
+/// — to `post(arrival, packet)`.  `lane` is the transmitting node: the
+/// source host on the first hop (bit-for-bit the flat behavior), the
+/// forwarding router on interior hops, so every injector lane stays
+/// confined to one shard's thread.  Partition boundaries are judged on the
+/// packet's end-to-end (src, dst) pair regardless of the lane.
+template <typename PostFn>
+void judge_and_post(Network* net, const std::string& lane, SimTime arrival, Packet packet,
+                    PostFn post) {
   FaultInjector* fault = net->fault();
   if (fault != nullptr) {
-    FaultVerdict v = fault->judge(packet.src.host, packet.dst.host);
+    FaultVerdict v = fault->judge(lane, packet.src.host, packet.dst.host);
     if (v.drop) {
       net->stats().drops_fault++;
       return;
     }
     if (v.corrupt) {
-      fault->corrupt_payload(packet.payload, packet.src.host);
+      fault->corrupt_payload(packet.payload, lane);
       net->stats().fault_corruptions++;
     }
     if (v.copies > 1) {
       net->stats().fault_duplicates += static_cast<std::uint64_t>(v.copies - 1);
       // The duplicate is posted first, as it always has been: at equal
       // arrival times post order decides delivery order.
-      world->post_delivery(net, target, arrival + v.extra_delay + v.dup_delay, packet);
+      post(arrival + v.extra_delay + v.dup_delay, packet);
     }
     arrival += v.extra_delay;
   }
-  world->post_delivery(net, target, arrival, std::move(packet));
+  post(arrival, std::move(packet));
 }
 
-Host::Host(World* world, std::string name, Rng rng, Engine* engine, std::size_t shard)
+}  // namespace
+
+Host* Nic::host() const { return node_->is_router() ? nullptr : static_cast<Host*>(node_); }
+
+void Nic::set_up(bool up) {
+  // Routes can traverse zone-owned segments and any NIC of a router (even
+  // on a zoneless network), so either kind of flap invalidates caches.
+  // Host NICs on flat networks never appear inside a route's interior.
+  if (up_ != up && node_->world() != nullptr &&
+      (network_->zone() != nullptr || node_->is_router()))
+    node_->world()->bump_route_epoch();
+  up_ = up;
+}
+
+void Network::set_up(bool up) {
+  if (up_ != up && world_ != nullptr) world_->bump_route_epoch();
+  up_ = up;
+}
+
+Node::Node(World* world, std::string name, Rng rng, Engine* engine, std::size_t shard,
+           bool is_router)
     : world_(world),
       name_(std::move(name)),
       rng_(rng),
       engine_(engine),
       shard_(shard),
+      is_router_(is_router) {}
+
+void Node::set_up(bool up) {
+  if (up_ != up && is_router_ && world_ != nullptr) world_->bump_route_epoch();
+  up_ = up;
+}
+
+Nic* Node::nic_on(const std::string& network) {
+  for (auto& nic : nics_)
+    if (nic->network()->name() == network) return nic.get();
+  return nullptr;
+}
+
+void Host::schedule_delivery(World* world, Network* net, Host* target, SimTime arrival,
+                             Packet packet) {
+  // Copy the lane name out before the move: the order in which a call's
+  // arguments are evaluated is unspecified, so passing packet.src.host by
+  // reference alongside std::move(packet) could bind it to a moved-from
+  // string.
+  std::string lane = packet.src.host;
+  judge_and_post(net, lane, arrival, std::move(packet),
+                 [world, net, target](SimTime when, Packet p) {
+                   world->post_delivery(net, target, when, std::move(p));
+                 });
+}
+
+Host::Host(World* world, std::string name, Rng rng, Engine* engine, std::size_t shard)
+    : Node(world, std::move(name), rng, engine, shard, /*is_router=*/false),
       log_("host@" + name_) {}
 
 Result<void> Host::bind(std::uint16_t port, PacketHandler handler) {
@@ -83,12 +156,6 @@ std::uint16_t Host::ephemeral_port() {
     if (next_ephemeral_ == 0) next_ephemeral_ = 49152;
   }
   return next_ephemeral_++;
-}
-
-Nic* Host::nic_on(const std::string& network) {
-  for (auto& nic : nics_)
-    if (nic->network()->name() == network) return nic.get();
-  return nullptr;
 }
 
 std::vector<std::string> Host::up_networks() const {
@@ -127,8 +194,7 @@ Result<std::string> Host::send(const Address& dst, Payload payload, const SendOp
       ++ncand;
     }
   }
-  if (ncand == 0)
-    return Error{Errc::unreachable, "no shared network between " + name_ + " and " + dst.host};
+  if (ncand == 0) return send_routed(dst, dst_host, std::move(payload), opts);
   Candidate* first = overflow.empty() ? inline_cand : overflow.data();
   Candidate* last = first + ncand;
 
@@ -167,6 +233,7 @@ Result<std::string> Host::send(const Address& dst, Payload payload, const SendOp
   SimTime start = std::max(engine.now(), ours->next_free);
   SimDuration ser = net->model().serialize_time(payload.size());
   ours->next_free = start + ser;
+  ours->note_tx(payload.size(), ser);
   SimTime arrival = ours->next_free + net->model().latency;
 
   net->stats().packets_sent++;
@@ -180,6 +247,49 @@ Result<std::string> Host::send(const Address& dst, Payload payload, const SendOp
 
   Packet packet{Address{name_, opts.src_port}, dst, std::move(payload), net->name()};
   schedule_delivery(world_, net, dst_host, arrival, std::move(packet));
+  return net->name();
+}
+
+Result<std::string> Host::send_routed(const Address& dst, Host* dst_host, Payload payload,
+                                      const SendOptions& opts) {
+  std::shared_ptr<const Route> route = world_->resolve_route(*this, dst.host);
+  if (route == nullptr)
+    return Error{Errc::unreachable, "no shared network between " + name_ + " and " + dst.host};
+  if (payload.size() > route->mtu)
+    return Error{Errc::invalid_argument,
+                 "datagram of " + std::to_string(payload.size()) +
+                     " bytes exceeds route MTU " + std::to_string(route->mtu) + " towards " +
+                     dst.host};
+
+  // First hop: charged against our own NIC exactly like a direct send (same
+  // contention clock, same stats, same single loss draw from our RNG).
+  Nic* ours = route->hops[0].tx;
+  Network* net = route->hops[0].net;
+  Engine& engine = *engine_;
+  SimTime start = std::max(engine.now(), ours->next_free);
+  SimDuration ser = net->model().serialize_time(payload.size());
+  ours->next_free = start + ser;
+  ours->note_tx(payload.size(), ser);
+  SimTime arrival = ours->next_free + net->model().latency;
+
+  net->stats().packets_sent++;
+  net->stats().bytes_sent += payload.size();
+
+  if (rng_.chance(net->total_loss())) {
+    net->stats().drops_loss++;
+    return net->name();
+  }
+
+  Packet packet{Address{name_, opts.src_port}, dst, std::move(payload), net->name()};
+  if (route->hops.size() == 1) {
+    schedule_delivery(world_, net, dst_host, arrival, std::move(packet));
+    return net->name();
+  }
+  World* world = world_;
+  judge_and_post(net, name_, arrival, std::move(packet),
+                 [world, &route](SimTime when, Packet p) {
+                   world->post_hop(route, 1, when, std::move(p));
+                 });
   return net->name();
 }
 
@@ -214,19 +324,21 @@ Result<void> Host::broadcast(const std::string& network, std::uint16_t port, Pay
   SimTime start = std::max(engine.now(), ours->next_free);
   SimDuration ser = net->model().serialize_time(payload.size());
   ours->next_free = start + ser;
+  ours->note_tx(payload.size(), ser);
   SimTime arrival = ours->next_free + net->model().latency;
 
   // One serialization, one arrival event per receiver — shared-medium
-  // broadcast, with loss drawn independently per receiver.
+  // broadcast, with loss drawn independently per receiver.  Routers on the
+  // segment do not receive broadcasts.
   for (Nic* nic : net->nics()) {
-    if (nic->host() == this) continue;
+    Host* target = nic->host();
+    if (target == this || target == nullptr) continue;
     net->stats().packets_sent++;
     net->stats().bytes_sent += payload.size();
     if (rng_.chance(net->total_loss())) {
       net->stats().drops_loss++;
       continue;
     }
-    Host* target = nic->host();
     Packet packet{Address{name_, src_port}, Address{target->name(), port}, payload,
                   net->name()};
     schedule_delivery(world_, net, target, arrival, std::move(packet));
@@ -276,6 +388,7 @@ SimTime World::now() const {
 Network& World::create_network(const std::string& name, MediaModel model) {
   assert(!networks_.count(name) && "duplicate network name");
   auto net = std::make_unique<Network>(name, std::move(model));
+  net->world_ = this;
   Network& ref = *net;
   networks_[name] = std::move(net);
   return ref;
@@ -291,11 +404,23 @@ Host& World::create_host(const std::string& name, std::size_t shard) {
   return ref;
 }
 
-Nic& World::attach(Host& host, Network& network) {
-  auto nic = std::make_unique<Nic>(&host, &network);
+Router& World::create_router(const std::string& name, std::size_t shard) {
+  assert(!routers_.count(name) && !hosts_.count(name) && "duplicate node name");
+  assert(shard < engines_.size() && "shard out of range");
+  auto router = std::make_unique<Router>(this, name, engines_[0]->rng().fork(),
+                                         engines_[shard].get(), shard);
+  Router& ref = *router;
+  routers_[name] = std::move(router);
+  bump_route_epoch();
+  return ref;
+}
+
+Nic& World::attach(Node& node, Network& network) {
+  auto nic = std::make_unique<Nic>(&node, &network);
   Nic& ref = *nic;
   network.nics_.push_back(nic.get());
-  host.nics_.push_back(std::move(nic));
+  node.nics_.push_back(std::move(nic));
+  if (network.zone() != nullptr || node.is_router()) bump_route_epoch();
   return ref;
 }
 
@@ -311,30 +436,207 @@ Host* World::host(const std::string& name) {
   return it == hosts_.end() ? nullptr : it->second.get();
 }
 
+Router* World::router(const std::string& name) {
+  auto it = routers_.find(name);
+  return it == routers_.end() ? nullptr : it->second.get();
+}
+
 Network* World::network(const std::string& name) {
   auto it = networks_.find(name);
   return it == networks_.end() ? nullptr : it->second.get();
 }
 
-void World::post_delivery(Network* net, Host* target, SimTime arrival, Packet packet) {
+// ---- multi-hop route resolution -------------------------------------------
+
+std::shared_ptr<const Route> World::resolve_route(Host& src, const std::string& dst) {
+  std::uint64_t epoch = route_epoch();
+  auto it = src.route_cache_.find(dst);
+  if (it != src.route_cache_.end() && it->second.epoch == epoch) return it->second.route;
+  Host* dst_host = host(dst);
+  std::shared_ptr<const Route> route =
+      dst_host == nullptr || dst_host == &src ? nullptr : compute_route(src, *dst_host);
+  src.route_cache_[dst] = Host::CachedRoute{epoch, route};
+  return route;
+}
+
+std::shared_ptr<const Route> World::compute_route(Host& src, Host& dst) {
+  // Latency-shortest path over up links.  Vertices are nodes; an up network
+  // connects every pair of its up attachments at the network's propagation
+  // latency (counted once per traversal).  Hosts never forward: only the
+  // source expands among hosts, and only the destination terminates.  The
+  // destination itself is exempt from up checks — like the direct path, a
+  // packet to a down endpoint still transmits and drops at delivery, so an
+  // endpoint crash never changes route structure (and never needs an epoch
+  // bump: the cached route stays correct across the restart).
+  // Equal-cost ties are broken by a deterministic per-(src,dst,edge) hash,
+  // so distinct pairs spread across parallel fabric planes (ECMP) while the
+  // choice never depends on memory layout or thread timing.
+  struct State {
+    SimDuration dist = 0;
+    std::uint64_t tie = 0;
+    Node* prev = nullptr;
+    Nic* via_tx = nullptr;
+    Network* via_net = nullptr;
+    std::size_t mtu = static_cast<std::size_t>(-1);
+    bool done = false;
+  };
+  struct QItem {
+    SimDuration dist;
+    std::uint64_t tie;
+    Node* node;
+  };
+  auto later = [](const QItem& a, const QItem& b) {
+    if (a.dist != b.dist) return a.dist > b.dist;
+    if (a.tie != b.tie) return a.tie > b.tie;
+    return a.node->name() > b.node->name();
+  };
+  std::map<Node*, State> states;  // pointer keys: lookup only, never iterated
+  std::priority_queue<QItem, std::vector<QItem>, decltype(later)> queue(later);
+  states[&src] = State{};
+  queue.push(QItem{0, 0, &src});
+  while (!queue.empty()) {
+    QItem top = queue.top();
+    queue.pop();
+    State& su = states[top.node];
+    if (su.done || top.dist != su.dist || top.tie != su.tie) continue;  // stale entry
+    su.done = true;
+    if (top.node == &dst) break;
+    if (top.node != &src && !top.node->is_router()) continue;
+    for (const auto& nic : top.node->nics()) {
+      Network* net = nic->network();
+      if (!nic->up() || !net->up()) continue;
+      SimDuration ndist = sat_add(top.dist, net->model().latency);
+      std::size_t nmtu = std::min(su.mtu, net->model().mtu);
+      for (Nic* other : net->nics()) {
+        if (other == nic.get()) continue;
+        Node* v = other->node();
+        if (!v->is_router() && v != &dst) continue;
+        if (v != &dst && (!other->up() || !v->up())) continue;
+        std::uint64_t tie =
+            route_tie(src.name(), dst.name(), top.node->name(), v->name(), net->name());
+        State& sv = states[v];  // value-initialized on first touch
+        bool fresh = sv.via_net == nullptr && v != &src;
+        if (sv.done) continue;
+        if (!fresh && (ndist > sv.dist || (ndist == sv.dist && tie >= sv.tie))) continue;
+        sv.dist = ndist;
+        sv.tie = tie;
+        sv.prev = top.node;
+        sv.via_tx = nic.get();
+        sv.via_net = net;
+        sv.mtu = nmtu;
+        queue.push(QItem{ndist, tie, v});
+      }
+    }
+  }
+  auto dit = states.find(&dst);
+  if (dit == states.end() || !dit->second.done) return nullptr;
+  auto route = std::make_shared<Route>();
+  route->dst = &dst;
+  route->latency = dit->second.dist;
+  route->mtu = dit->second.mtu;
+  for (Node* n = &dst; n != &src;) {
+    const State& s = states[n];
+    route->hops.push_back(RouteHop{s.via_tx, s.via_net});
+    n = s.prev;
+  }
+  std::reverse(route->hops.begin(), route->hops.end());
+  return route;
+}
+
+SimDuration World::net_distance(const std::string& a, const std::string& b) {
+  if (a == b) return 0;
+  Host* ha = host(a);
+  Host* hb = host(b);
+  if (ha == nullptr || hb == nullptr) return kUnreachable;
+  // Adjacent pair: the flat model's answer (best shared-network latency),
+  // kept as a fast path so replica ranking inside a rack never pays a
+  // graph walk.
+  SimDuration best = kUnreachable;
+  for (const auto& nic : ha->nics()) {
+    if (!nic->up() || !nic->network()->up()) continue;
+    Nic* theirs = hb->nic_on(nic->network()->name());
+    if (theirs == nullptr || !theirs->up()) continue;
+    best = std::min(best, nic->network()->model().latency);
+  }
+  if (best != kUnreachable) return best;
+  std::shared_ptr<const Route> route = resolve_route(*ha, b);
+  return route != nullptr ? route->latency : kUnreachable;
+}
+
+void World::forward_hop(std::shared_ptr<const Route> route, std::size_t i, Packet packet) {
+  const RouteHop& hop = route->hops[i];
+  Nic* tx = hop.tx;
+  Node* node = tx->node();
+  Network* net = hop.net;
+  // The route was valid when resolved; re-check at forward time — the
+  // router, its egress NIC or the link may have died while the packet was
+  // in flight (§6's route-switching scenario: the transport's retransmit
+  // re-resolves against the bumped epoch and fails over).
+  if (!node->up() || !tx->up() || !net->up()) {
+    net->stats().drops_down++;
+    return;
+  }
+  Engine& engine = node->engine();
+  SimTime start = std::max(engine.now(), tx->next_free);
+  SimDuration ser = net->model().serialize_time(packet.payload.size());
+  tx->next_free = start + ser;
+  tx->note_tx(packet.payload.size(), ser);
+  SimTime arrival = tx->next_free + net->model().latency;
+
+  net->stats().packets_sent++;
+  net->stats().bytes_sent += packet.payload.size();
+
+  if (node->rng().chance(net->total_loss())) {
+    net->stats().drops_loss++;
+    return;
+  }
+
+  packet.network = net->name();
+  if (i + 1 == route->hops.size()) {
+    judge_and_post(net, node->name(), arrival, std::move(packet),
+                   [this, net, &route](SimTime when, Packet p) {
+                     post_delivery(net, route->dst, when, std::move(p));
+                   });
+    return;
+  }
+  judge_and_post(net, node->name(), arrival, std::move(packet),
+                 [this, &route, i](SimTime when, Packet p) {
+                   post_hop(route, i + 1, when, std::move(p));
+                 });
+}
+
+void World::post_hop(std::shared_ptr<const Route> route, std::size_t i, SimTime when,
+                     Packet packet) {
+  Node* node = route->hops[i].tx->node();
+  Engine* engine = &node->engine();
+  post_event(node->shard(), engine, when,
+             [this, route = std::move(route), i, packet = std::move(packet)]() mutable {
+               forward_hop(std::move(route), i, std::move(packet));
+             });
+}
+
+void World::post_event(std::size_t shard, Engine* engine, SimTime arrival, EventFn fn) {
   int src = t_current_shard;
-  if (src < 0 || static_cast<std::size_t>(src) == target->shard()) {
+  if (src < 0 || static_cast<std::size_t>(src) == shard) {
     // Same shard, or the coordinator between windows: straight onto the
     // target's engine — the classic path.  A coordinator-initiated send can
-    // race the destination clock (its host's shard may have simulated past
-    // the arrival already), so it lands no earlier than the target's now.
-    SimTime when = std::max(arrival, target->engine().now());
-    target->engine().schedule_at(when, [target, net, packet = std::move(packet)]() mutable {
-      target->deliver(std::move(packet), net);
-    });
+    // race the destination clock (its shard may have simulated past the
+    // arrival already), so it lands no earlier than the target's now.
+    engine->schedule_at(std::max(arrival, engine->now()), std::move(fn));
     return;
   }
   // Cross-shard: park it in the mailbox until the window barrier.  The
   // conservative window guarantees arrival >= the window end, so the
   // destination has not simulated past it.
   auto s = static_cast<std::size_t>(src);
-  mail_[s][target->shard()].push_back(
-      MailItem{arrival, mail_seq_[s]++, net, target, std::move(packet)});
+  mail_[s][shard].push_back(MailItem{arrival, mail_seq_[s]++, engine, std::move(fn)});
+}
+
+void World::post_delivery(Network* net, Host* target, SimTime arrival, Packet packet) {
+  post_event(target->shard(), &target->engine(), arrival,
+             [target, net, packet = std::move(packet)]() mutable {
+               target->deliver(std::move(packet), net);
+             });
 }
 
 void World::drain_mailboxes() {
@@ -365,13 +667,8 @@ void World::drain_mailboxes() {
   });
   run_stats_.cross_shard_packets += total;
   for (Entry& e : entries) {
-    Host* target = e.item.target;
-    Network* net = e.item.net;
-    assert(e.item.arrival >= target->engine().now() && "conservative window violated");
-    target->engine().schedule_at(e.item.arrival,
-                                 [target, net, packet = std::move(e.item.packet)]() mutable {
-                                   target->deliver(std::move(packet), net);
-                                 });
+    assert(e.item.arrival >= e.item.engine->now() && "conservative window violated");
+    e.item.engine->schedule_at(e.item.arrival, std::move(e.item.fn));
   }
 }
 
@@ -382,7 +679,7 @@ SimTime World::compute_lookahead() const {
     std::size_t first_shard = 0;
     bool seen = false;
     for (const Nic* nic : net->nics()) {
-      std::size_t s = nic->host()->shard();
+      std::size_t s = nic->node()->shard();
       if (!seen) {
         first_shard = s;
         seen = true;
@@ -421,7 +718,7 @@ void World::stop_workers() {
 void World::worker_main(std::size_t shard) {
   Engine* eng = engines_[shard].get();
   // For this thread's whole life: trace/log clock reads this shard's
-  // engine, and deliveries posted from here route through post_delivery's
+  // engine, and deliveries posted from here route through post_event's
   // shard-aware path.
   Engine::ThreadTimeScope scope(eng);
   t_current_shard = static_cast<int>(shard);

@@ -1,4 +1,4 @@
-// Hosts, networks and datagram delivery.
+// Hosts, routers, networks, routing zones and datagram delivery.
 //
 // A World is the simulated testbed: named hosts, each multi-homed onto one
 // or more named networks (Ethernet segments, an ATM fabric, a WAN path).
@@ -7,13 +7,28 @@
 // comms module.  Reliability, fragmentation, streams and multicast all live
 // one layer up, in snipe::transport, as they did in the paper (§6).
 //
-// Failure injection is first-class: hosts, networks and individual NICs can
-// be taken down and brought back at any virtual time; in-flight packets to
-// a dead destination are dropped, which is what the transport's failover
-// logic (§6: "switch routes/interfaces as links failed") must cope with.
-// Richer, adversarial failure modes — burst loss, duplication, reordering,
-// corruption, partitions, crash/restart schedules — attach per network via
-// simnet/fault.hpp's FaultInjector/FaultPlan.
+// Topology comes in two shapes:
+//
+//  * Flat (the original model): hosts share media directly, and two hosts
+//    can talk iff a common network is up between them.  Everything built
+//    through create_network/create_host/attach behaves bit-for-bit as it
+//    always has — no routes, no extra RNG draws.
+//  * Zoned (simnet/topo.hpp): a tree of routing Zones whose leaves are
+//    media segments and whose interior nodes are fat-tree clusters, star
+//    LANs and WAN interconnects joined by gateway *routers*.  A datagram
+//    between hosts with no shared medium resolves a multi-hop route
+//    (cached per host pair, invalidated whenever topology state changes);
+//    each hop pays serialize + propagation on its medium, and per-NIC
+//    bandwidth sharing charges every flow crossing a shared link — incast
+//    into a rack and thin-pipe WAN bottlenecks emerge from the model.
+//
+// Failure injection is first-class: hosts, routers, networks and individual
+// NICs can be taken down and brought back at any virtual time; in-flight
+// packets to a dead destination are dropped, which is what the transport's
+// failover logic (§6: "switch routes/interfaces as links failed") must cope
+// with.  Richer, adversarial failure modes — burst loss, duplication,
+// reordering, corruption, partitions, crash/restart schedules — attach per
+// network via simnet/fault.hpp's FaultInjector/FaultPlan.
 #pragma once
 
 #include <atomic>
@@ -37,6 +52,7 @@
 namespace snipe::simnet {
 
 class FaultInjector;  // simnet/fault.hpp
+class Zone;           // simnet/topo.hpp
 
 /// A network endpoint: host name + port.
 struct Address {
@@ -56,30 +72,49 @@ struct Packet {
   Address src;
   Address dst;
   Payload payload;
-  std::string network;  ///< network it arrived on
+  std::string network;  ///< network it arrived on (last hop for routed sends)
 };
 
 using PacketHandler = std::function<void(const Packet&)>;
 
 class World;
 class Host;
+class Router;
+class Node;
 
-/// One attachment point of a host to a network.
+/// One attachment point of a node (host or router) to a network.
 class Nic {
  public:
-  Nic(Host* host, class Network* network) : host_(host), network_(network) {}
-  Host* host() const { return host_; }
+  Nic(Node* node, class Network* network) : node_(node), network_(network) {}
+  /// The attached node; host() narrows and returns nullptr for routers.
+  Node* node() const { return node_; }
+  Host* host() const;
   Network* network() const { return network_; }
   bool up() const { return up_; }
-  void set_up(bool up) { up_ = up; }
+  void set_up(bool up);  ///< bumps the world's route epoch on change
   /// Earliest time the egress side of this NIC is free to start serializing
-  /// the next packet (models bandwidth sharing between flows).
+  /// the next packet (models bandwidth sharing between flows — on hosts and
+  /// on interior fat-tree / WAN gateway links alike).
   SimTime next_free = 0;
 
+  /// Lifetime egress accounting, read cross-thread by the /topo dump.
+  std::uint64_t tx_packets() const { return tx_packets_.load(std::memory_order_relaxed); }
+  std::uint64_t tx_bytes() const { return tx_bytes_.load(std::memory_order_relaxed); }
+  /// Virtual nanoseconds this NIC spent serializing (utilization numerator).
+  std::uint64_t busy_ns() const { return busy_ns_.load(std::memory_order_relaxed); }
+  void note_tx(std::size_t bytes, SimDuration ser) {
+    tx_packets_.fetch_add(1, std::memory_order_relaxed);
+    tx_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    busy_ns_.fetch_add(static_cast<std::uint64_t>(ser), std::memory_order_relaxed);
+  }
+
  private:
-  Host* host_;
+  Node* node_;
   Network* network_;
   bool up_ = true;
+  std::atomic<std::uint64_t> tx_packets_{0};
+  std::atomic<std::uint64_t> tx_bytes_{0};
+  std::atomic<std::uint64_t> busy_ns_{0};
 };
 
 /// Aggregate traffic counters, kept per network and exposed by World for
@@ -99,7 +134,10 @@ struct NetStats {
   std::atomic<std::uint64_t> fault_corruptions{0}; ///< datagrams delivered mangled
 };
 
-/// A shared medium: an Ethernet segment, ATM fabric, or point-to-point WAN.
+/// A shared medium: an Ethernet segment, ATM fabric, point-to-point WAN
+/// path, or an interior gateway link between zones (gateway links are plain
+/// networks, so link_down fault actions and per-NIC contention apply to
+/// them unchanged).
 class Network {
  public:
   Network(std::string name, MediaModel model) : name_(std::move(name)), model_(model) {}
@@ -107,7 +145,7 @@ class Network {
   const std::string& name() const { return name_; }
   const MediaModel& model() const { return model_; }
   bool up() const { return up_; }
-  void set_up(bool up) { up_ = up; }
+  void set_up(bool up);  ///< bumps the world's route epoch on change
   /// Additional loss injected on top of the media baseline (for loss
   /// sweeps); total per-packet drop probability is baseline + extra.
   void set_extra_loss(double p) { extra_loss_ = p; }
@@ -116,6 +154,8 @@ class Network {
   const std::vector<Nic*>& nics() const { return nics_; }
   NetStats& stats() { return stats_; }
   const NetStats& stats() const { return stats_; }
+  /// The zone this network belongs to (nullptr in flat worlds).
+  Zone* zone() const { return zone_; }
 
   /// Attaches (or, with nullptr, removes) a fault injector consulted for
   /// every datagram on this network — see simnet/fault.hpp.  Ownership is
@@ -125,8 +165,11 @@ class Network {
 
  private:
   friend class World;
+  friend class Zone;
   std::string name_;
   MediaModel model_;
+  World* world_ = nullptr;
+  Zone* zone_ = nullptr;
   bool up_ = true;
   double extra_loss_ = 0.0;
   std::vector<Nic*> nics_;
@@ -136,31 +179,97 @@ class Network {
 
 /// Options for a single send.
 struct SendOptions {
-  /// If nonempty, try this network first even if a faster one is shared.
+  /// If nonempty, try this network first even if a faster one is shared
+  /// (direct candidates only; routed sends pick their own path).
   std::string preferred_network;
   /// Stamped into the delivered Packet's src.port so receivers can reply.
   std::uint16_t src_port = 0;
 };
 
-/// A simulated machine.  Hosts own their NICs and their port table.
-///
-/// Every host belongs to one *shard*: the engine its events (deliveries,
-/// protocol timers, handler callbacks) run on.  With a single-shard World
-/// that is the World's one engine, exactly as before; with N shards the
-/// engines run on parallel worker threads in conservative time windows (see
-/// World below), and everything a host owns — NICs, port table, transport
-/// endpoints constructed against it — is touched only by its shard's
-/// thread.
-class Host {
+/// One hop of a resolved route: the transmitting attachment and the medium
+/// it serializes onto.  hops[0].tx belongs to the source host; subsequent
+/// hops' tx NICs belong to routers.
+struct RouteHop {
+  Nic* tx;
+  Network* net;
+};
+
+/// A resolved multi-hop path between two hosts.  Routes are shared-owned:
+/// packets in flight keep their route alive even if the cache entry is
+/// invalidated mid-transfer.
+struct Route {
+  std::vector<RouteHop> hops;
+  Host* dst = nullptr;
+  SimDuration latency = 0;  ///< sum of hop propagation latencies
+  std::size_t mtu = 0;      ///< min over hop MTUs
+};
+
+/// Common state of anything attached to networks: simulated machines
+/// (Host) and interior forwarding elements (Router).  Every node belongs to
+/// one *shard*: the engine its events run on; everything a node owns —
+/// NICs, contention clocks, forwarding state — is touched only by its
+/// shard's thread.
+class Node {
  public:
-  Host(World* world, std::string name, Rng rng, Engine* engine, std::size_t shard);
+  Node(World* world, std::string name, Rng rng, Engine* engine, std::size_t shard,
+       bool is_router);
+  virtual ~Node() = default;
 
   const std::string& name() const { return name_; }
   bool up() const { return up_; }
-  /// Taking a host down atomically clears nothing: bindings survive so the
-  /// host "reboots" with its services intact, which is how the availability
-  /// bench models crash/restart churn.
-  void set_up(bool up) { up_ = up; }
+  /// Taking a node down atomically clears nothing: host bindings survive so
+  /// the host "reboots" with its services intact (§5.6's model), and a
+  /// router comes back forwarding.  Bumps the route epoch so cached routes
+  /// through a dead router re-resolve.
+  void set_up(bool up);
+
+  World* world() const { return world_; }
+  /// The engine this node's events run on (its shard's engine).  Transport
+  /// endpoints and services bound to a host must schedule their timers
+  /// here, not on World::engine(), so they stay on their shard's thread.
+  Engine& engine() const { return *engine_; }
+  /// Which shard this node was created on (0 in a single-shard World).
+  std::size_t shard() const { return shard_; }
+  /// The routing zone this node belongs to (nullptr in flat worlds).
+  Zone* zone() const { return zone_; }
+  bool is_router() const { return is_router_; }
+
+  /// The NIC attaching this node to `network`, or nullptr.
+  Nic* nic_on(const std::string& network);
+  const std::vector<std::unique_ptr<Nic>>& nics() const { return nics_; }
+
+  Rng& rng() { return rng_; }
+
+ protected:
+  friend class World;
+  friend class Zone;
+
+  World* world_;
+  std::string name_;
+  bool up_ = true;
+  std::vector<std::unique_ptr<Nic>> nics_;
+  Rng rng_;
+  Engine* engine_;
+  std::size_t shard_;
+  Zone* zone_ = nullptr;
+  bool is_router_;
+};
+
+/// An interior forwarding element: a top-of-rack switch, fat-tree spine, or
+/// WAN border gateway.  Routers never bind ports or run protocol timers —
+/// forwarding is modeled hop-by-hop on the virtual clock (serialize on the
+/// egress NIC, propagate, hand to the next hop), so a router's cost is its
+/// links' contention, not software.
+class Router : public Node {
+ public:
+  Router(World* world, std::string name, Rng rng, Engine* engine, std::size_t shard)
+      : Node(world, std::move(name), rng, engine, shard, /*is_router=*/true) {}
+};
+
+/// A simulated machine.  Hosts own their NICs and their port table.
+class Host : public Node {
+ public:
+  Host(World* world, std::string name, Rng rng, Engine* engine, std::size_t shard);
 
   /// Registers a datagram handler on `port`.
   Result<void> bind(std::uint16_t port, PacketHandler handler);
@@ -169,36 +278,28 @@ class Host {
   /// Picks an unused ephemeral port (49152+).
   std::uint16_t ephemeral_port();
 
-  /// Sends one datagram.  Chooses the fastest shared up network (§5.3),
-  /// honouring `preferred_network` when it is available.  Fails with
-  ///   invalid_argument  if payload exceeds the chosen network's MTU,
-  ///   unreachable       if no shared network is up or the host is down.
-  /// On success returns the name of the network used.  Loss is applied at
-  /// delivery time; a lost packet still returns success here, as with UDP.
+  /// Sends one datagram.  With a shared up network the fastest one wins
+  /// (§5.3), honouring `preferred_network` when it is available — exactly
+  /// the flat model.  With no shared network and a zoned topology, the
+  /// datagram takes the resolved multi-hop route, paying serialize +
+  /// propagation per hop and sharing every link it crosses.  Fails with
+  ///   invalid_argument  if payload exceeds the chosen network's (or the
+  ///                     route's bottleneck) MTU,
+  ///   unreachable       if no path exists or the host is down.
+  /// On success returns the name of the first-hop network.  Loss is applied
+  /// at delivery time; a lost packet still returns success here, as with
+  /// UDP.
   Result<std::string> send(const Address& dst, Payload payload, const SendOptions& opts = {});
 
   /// Sends to every other up NIC on `network` (link-level broadcast, used
   /// by the experimental Ethernet multicast protocol of §6).  Receivers
-  /// share one payload; no per-receiver copy is made.
+  /// share one payload; no per-receiver copy is made.  Routers do not
+  /// receive broadcasts.
   Result<void> broadcast(const std::string& network, std::uint16_t port, Payload payload,
                          std::uint16_t src_port = 0);
 
-  /// The NIC attaching this host to `network`, or nullptr.
-  Nic* nic_on(const std::string& network);
-  const std::vector<std::unique_ptr<Nic>>& nics() const { return nics_; }
-
   /// Networks this host can currently transmit on.
   std::vector<std::string> up_networks() const;
-
-  World* world() const { return world_; }
-  Rng& rng() { return rng_; }
-
-  /// The engine this host's events run on (its shard's engine).  Transport
-  /// endpoints and services bound to this host must schedule their timers
-  /// here, not on World::engine(), so they stay on their shard's thread.
-  Engine& engine() const { return *engine_; }
-  /// Which shard this host was created on (0 in a single-shard World).
-  std::size_t shard() const { return shard_; }
 
  private:
   friend class World;
@@ -209,20 +310,27 @@ class Host {
   /// the cross-shard mailbox otherwise.
   static void schedule_delivery(World* world, Network* net, Host* target,
                                 SimTime arrival, Packet packet);
+  /// The no-shared-network continuation of send(): resolve a route and
+  /// launch the packet down it.
+  Result<std::string> send_routed(const Address& dst, Host* dst_host, Payload payload,
+                                  const SendOptions& opts);
 
-  World* world_;
-  std::string name_;
-  bool up_ = true;
-  std::vector<std::unique_ptr<Nic>> nics_;
   std::map<std::uint16_t, PacketHandler> ports_;
   std::uint16_t next_ephemeral_ = 49152;
-  Rng rng_;
-  Engine* engine_;
-  std::size_t shard_;
+  /// Resolved-route cache, keyed by destination host.  Entries carry the
+  /// route epoch they were computed under; any topology change (link/NIC/
+  /// router up-down, partition fault actions, new attachments) bumps the
+  /// world epoch and lazily invalidates every cached route.
+  struct CachedRoute {
+    std::uint64_t epoch = 0;
+    std::shared_ptr<const Route> route;  ///< nullptr = cached "no route"
+  };
+  std::map<std::string, CachedRoute> route_cache_;
   Logger log_;
 };
 
-/// The whole simulated testbed: engines + hosts + networks.
+/// The whole simulated testbed: engines + hosts + routers + networks +
+/// zones.
 ///
 /// With `shards == 1` (the default) this is exactly the classic single
 /// engine World.  With `shards > 1` the hosts are partitioned across N
@@ -230,31 +338,38 @@ class Host {
 /// methods below execute a conservative windowed parallel simulation:
 ///
 ///   * The *lookahead* L is the minimum media latency over networks whose
-///     NICs span more than one shard (never below one tick).  A packet sent
-///     at time t cannot arrive on another shard before t + L.
+///     attachments span more than one shard (never below one tick).  In a
+///     zoned world with shard-by-zone placement those are exactly the
+///     inter-zone gateway links, so L is the min gateway latency.  A packet
+///     sent at time t cannot arrive on another shard before t + L.
 ///   * Each window starts at s = the earliest pending event anywhere and
 ///     ends at e = min(s + L, next control event, horizon).  Every shard
 ///     runs its own events with time in [s, e) in parallel, touching only
-///     its own hosts' state.
-///   * Cross-shard sends during the window land in per-(src,dst) shard
-///     mailboxes; at the window barrier the coordinator drains them in
-///     deterministic order — sorted by (arrival time, source shard, per-
-///     source-shard sequence) — onto the destination engines.  Arrival
-///     times are >= e by the lookahead argument, so no shard ever receives
-///     an event in its past.
+///     its own nodes' state.
+///   * Cross-shard sends (and multi-hop forwards) during the window land in
+///     per-(src,dst) shard mailboxes; at the window barrier the coordinator
+///     drains them in deterministic order — sorted by (arrival time, source
+///     shard, per-source-shard sequence) — onto the destination engines.
+///     Arrival times are >= e by the lookahead argument, so no shard ever
+///     receives an event in its past.
 ///
 /// World-level orchestration (FaultPlan actions, scripted workloads) runs
 /// on a dedicated *control engine* between windows on the coordinator
 /// thread; its next event time bounds every window, so control actions are
 /// totally ordered against shard events.  With shards == 1 the control
 /// engine IS the one shard engine, preserving today's behavior bit for
-/// bit.  See DESIGN.md §sharded-engine for the determinism contract.
+/// bit.  See DESIGN.md §sharded-engine for the determinism contract and
+/// §routing-zones for the topology model.
 class World {
  public:
+  /// "No route" distance (net_distance when two hosts cannot reach each
+  /// other at all).
+  static constexpr SimDuration kUnreachable = INT64_MAX;
+
   /// Per-run accounting for the windowed driver (bench + tests).
   struct RunStats {
     std::uint64_t windows = 0;            ///< barriers executed
-    std::uint64_t cross_shard_packets = 0;///< deliveries routed via mailboxes
+    std::uint64_t cross_shard_packets = 0;///< deliveries/forwards via mailboxes
     /// Sum over windows of the *maximum* per-shard thread-CPU time spent in
     /// that window: the critical path of the parallel execution.  On a
     /// machine with >= N cores this is what the wall clock converges to.
@@ -304,33 +419,90 @@ class World {
   /// Creates a host on shard `shard`; names must be unique.  Host RNG
   /// streams fork from the first engine's RNG in creation order, so a given
   /// creation sequence yields identical per-host streams for every shard
-  /// count.
+  /// count.  Prefer Zone::create_host in zoned worlds — it places the host
+  /// on its zone's shard so cross-shard traffic is cross-zone traffic.
   Host& create_host(const std::string& name, std::size_t shard = 0);
-  /// Attaches a host to a network with a fresh NIC.
-  Nic& attach(Host& host, Network& network);
+  /// Creates an interior forwarding node on shard `shard` (Zone::
+  /// create_router places it on the zone's shard).  Routers draw their loss
+  /// samples from an RNG forked in creation order, like hosts.
+  Router& create_router(const std::string& name, std::size_t shard = 0);
+  /// Attaches a host or router to a network with a fresh NIC.
+  Nic& attach(Node& node, Network& network);
   Nic& attach(const std::string& host, const std::string& network);
 
   Host* host(const std::string& name);
+  Router* router(const std::string& name);
   Network* network(const std::string& name);
 
   const std::map<std::string, std::unique_ptr<Host>>& hosts() const { return hosts_; }
+  const std::map<std::string, std::unique_ptr<Router>>& routers() const { return routers_; }
+
+  // ---- routing zones (simnet/topo.hpp holds Zone and the builders) ----
+
+  /// Creates a routing zone.  With `shard == kAutoShard`, a child zone
+  /// inherits its parent's shard and a top-level zone is assigned round-
+  /// robin across the world's shards — so "shard by zone" is the default
+  /// placement and cross-shard traffic is cross-zone traffic.
+  static constexpr std::size_t kAutoShard = static_cast<std::size_t>(-1);
+  Zone& create_zone(const std::string& name, Zone* parent = nullptr,
+                    std::size_t shard = kAutoShard);
+  Zone* zone(const std::string& name);
+  /// Top-level zones, in creation order (empty for flat worlds).
+  const std::vector<Zone*>& top_zones() const { return top_zones_; }
+
+  /// Resolves (and caches) the multi-hop route from `src` to the host named
+  /// `dst`: per-hop latency-shortest path over up links, hosts never
+  /// forwarding, equal-cost ties broken by a deterministic per-(src,dst)
+  /// hash so distinct pairs spread across parallel fabric planes.  Returns
+  /// nullptr when no path exists.  Must be called from `src`'s shard
+  /// thread (or the coordinator); the cache is per-host and lock-free.
+  std::shared_ptr<const Route> resolve_route(Host& src, const std::string& dst);
+
+  /// Network distance between two hosts: 0 for the same host, the best
+  /// shared-network latency for adjacent hosts (the flat model's answer),
+  /// the resolved route's total latency otherwise, kUnreachable when no
+  /// path exists.  Replica ranking (files/rcds/rm) runs on this.
+  SimDuration net_distance(const std::string& a, const std::string& b);
+
+  /// Monotonic topology-change counter: link/NIC/node up-down transitions,
+  /// new attachments and partition fault actions bump it, lazily
+  /// invalidating every cached route.
+  std::uint64_t route_epoch() const { return route_epoch_.load(std::memory_order_relaxed); }
+  void bump_route_epoch() { route_epoch_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Human-readable dump of the zone tree with per-link utilization and
+  /// up/down state — the console `topo` verb and the ops gateway's /topo
+  /// endpoint serve this (implemented in topo.cpp).
+  std::string describe_topology() const;
 
  private:
   friend class Host;
+  friend class Zone;
 
-  /// One cross-shard delivery parked until the window barrier.
+  /// One cross-shard event (delivery or multi-hop forward) parked until the
+  /// window barrier.
   struct MailItem {
     SimTime arrival;
     std::uint64_t seq;  ///< per-source-shard, assigned at post time
-    Network* net;
-    Host* target;
-    Packet packet;
+    Engine* engine;     ///< destination shard's engine
+    EventFn fn;
   };
 
-  /// Called from Host::schedule_delivery: schedules directly when the
-  /// target lives on the calling thread's shard (or the caller is the
-  /// coordinator), otherwise appends to mail_[calling shard][target shard].
+  /// Called from a node's shard thread (or the coordinator): schedules
+  /// directly when `shard` is the calling thread's shard (or the caller is
+  /// the coordinator), otherwise appends to mail_[calling shard][shard].
+  void post_event(std::size_t shard, Engine* engine, SimTime arrival, EventFn fn);
   void post_delivery(Network* net, Host* target, SimTime arrival, Packet packet);
+  /// Schedules hop `i` of `route` (a forward on the hop's tx node) at
+  /// `when`, crossing shards through the mailbox when needed.
+  void post_hop(std::shared_ptr<const Route> route, std::size_t i, SimTime when,
+                Packet packet);
+  /// Executes hop `i`: down checks, serialize on the egress NIC (sharing
+  /// bandwidth with every other flow crossing it), loss, fault injection,
+  /// then delivery (last hop) or the next forward.
+  void forward_hop(std::shared_ptr<const Route> route, std::size_t i, Packet packet);
+  /// Uncached shortest-path resolution behind resolve_route.
+  std::shared_ptr<const Route> compute_route(Host& src, Host& dst);
   void drain_mailboxes();
   /// The shared window loop behind run_until/run_all.  Runs windows until
   /// the next event anywhere is past `horizon`; with
@@ -346,7 +518,13 @@ class World {
   std::unique_ptr<Engine> ctrl_engine_;           ///< only when shards > 1
   Engine* ctrl_;                                  ///< == engines_[0] when shards == 1
   std::map<std::string, std::unique_ptr<Host>> hosts_;
+  std::map<std::string, std::unique_ptr<Router>> routers_;
   std::map<std::string, std::unique_ptr<Network>> networks_;
+  std::vector<std::unique_ptr<Zone>> zones_;      ///< all zones, creation order
+  std::map<std::string, Zone*> zones_by_name_;
+  std::vector<Zone*> top_zones_;
+  std::size_t next_top_zone_ = 0;                 ///< round-robin shard cursor
+  std::atomic<std::uint64_t> route_epoch_{0};
 
   SimTime lookahead_ = Engine::kNever;
   RunStats run_stats_;

@@ -483,11 +483,19 @@ TEST_F(CoreFixture, ConsoleObservabilityVerbs) {
   EXPECT_NE(run_command("trace 0x7177").find("srudp.deliver"), std::string::npos);
   EXPECT_NE(run_command("trace 424242").find("srudp.send"), std::string::npos);
 
+  // topo: dumps the zone tree — the fixture's world is flat, so the header
+  // counts land in the "flat networks" section with per-NIC state.
+  std::string topo = run_command("topo");
+  EXPECT_EQ(topo.rfind("topology:", 0), 0u) << topo;
+  EXPECT_NE(topo.find("flat networks:"), std::string::npos) << topo;
+  EXPECT_NE(topo.find("hostC"), std::string::npos) << topo;
+
   // The usage line advertises the new verbs.
   std::string usage = run_command("bogus");
   EXPECT_NE(usage.find("trace <id>"), std::string::npos);
   EXPECT_NE(usage.find("flight [host]"), std::string::npos);
   EXPECT_NE(usage.find("health"), std::string::npos);
+  EXPECT_NE(usage.find("topo"), std::string::npos);
 }
 
 // ---- the ops gateway: observability over SNIPE's own HTTP machinery --------
@@ -525,6 +533,16 @@ TEST_F(CoreFixture, OpsGatewayServesMetricsHealthFlightAndTrace) {
   ASSERT_TRUE(flight.ok());
   EXPECT_NE(to_string(flight.value().body).find("test/gateway_probe"),
             std::string::npos);
+
+  // /topo: the zone-tree dump over HTTP — flat fixture world, so the
+  // networks land in the trailing flat section with per-NIC rows.
+  auto topo = fetch("/topo");
+  ASSERT_TRUE(topo.ok());
+  EXPECT_EQ(topo.value().status, 200);
+  std::string topo_body = to_string(topo.value().body);
+  EXPECT_EQ(topo_body.rfind("topology:", 0), 0u) << topo_body;
+  EXPECT_NE(topo_body.find("flat networks:"), std::string::npos) << topo_body;
+  EXPECT_NE(topo_body.find("hostA"), std::string::npos) << topo_body;
 
   auto bad_trace = fetch("/trace");
   ASSERT_TRUE(bad_trace.ok());
